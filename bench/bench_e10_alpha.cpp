@@ -1,0 +1,56 @@
+// E10 — α sensitivity: the reorganization price is the model's central
+// parameter. Sweeps α on a fixed workload and reports the cost
+// decomposition — the rent-or-buy balance ties churn to service.
+#include <vector>
+
+#include "core/tree_cache.hpp"
+#include "sim/reporting.hpp"
+#include "sim/simulator.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace treecache;
+
+int main() {
+  sim::print_experiment_banner(
+      "E10", "alpha sensitivity — rent-or-buy cost decomposition",
+      "TC invests alpha in a fetch/evict only after the requests have paid "
+      "for it, so reorganization tracks service within a constant");
+
+  Rng rng(31);
+  const Tree tree = trees::random_recursive(400, rng);
+  const std::size_t capacity = 60;
+
+  ConsoleTable table({"alpha", "service", "reorg", "reorg/service", "total",
+                      "fetched", "evicted", "restarts", "hit rate"});
+  for (const std::uint64_t alpha :
+       {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull}) {
+    Rng inst(1000 + alpha);  // same workload family across alphas
+    const Trace trace = workload::zipf_trace(tree, 120000, 1.0, 0.25, inst);
+    const auto s = stats(trace, tree.size());
+    TreeCache tc(tree, {.alpha = alpha, .capacity = capacity});
+    const auto result = sim::run_trace(tc, trace);
+    const double hit_rate =
+        1.0 - static_cast<double>(result.paid_positive) /
+                  static_cast<double>(s.positives);
+    table.add_row(
+        {ConsoleTable::fmt(alpha), ConsoleTable::fmt(result.cost.service),
+         ConsoleTable::fmt(result.cost.reorg),
+         ConsoleTable::fmt(static_cast<double>(result.cost.reorg) /
+                               static_cast<double>(result.cost.service),
+                           3),
+         ConsoleTable::fmt(result.cost.total()),
+         ConsoleTable::fmt(result.fetched_nodes),
+         ConsoleTable::fmt(result.evicted_nodes),
+         ConsoleTable::fmt(result.phase_restarts),
+         ConsoleTable::fmt(hit_rate, 3)});
+  }
+  table.print();
+  sim::print_note(
+      "reading",
+      "reorg/service stays bounded (~1) across two orders of magnitude of "
+      "alpha — the saturation rule is exactly the rent-or-buy balance; "
+      "higher alpha trades hit rate for less churn");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E13 — Section 5.2 machinery at scale: runs the request-shifting
+// procedures (Cor. 5.8, Lemma 5.10) over every field of large TC
+// executions and reports the Lemma 5.11/5.14 OPT certificates, turning
+// measured costs into *certified* competitive ratios on instances far
+// beyond the exact DP's reach.
+#include <vector>
+
+#include "analysis/opt_bound.hpp"
+#include "analysis/shifting.hpp"
+#include "core/tree_cache.hpp"
+#include "sim/reporting.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/table.hpp"
+#include "workload/adversary.hpp"
+#include "workload/generators.hpp"
+
+using namespace treecache;
+
+int main() {
+  sim::print_experiment_banner(
+      "E13", "Section 5.2 at scale — shifting + certified OPT bounds",
+      "legal request shifting evens out fields (Cor. 5.8 exactly, Lemma "
+      "5.10 up to 1/(2h)); Lemmas 5.11/5.14 certify OPT lower bounds");
+
+  const std::uint64_t alpha = 4;
+  ConsoleTable table({"instance", "n", "h", "TC cost", "cert(k/2)",
+                      "ratio(k/2)", "ratio(k)", "fields shifted",
+                      "full-after-shift"});
+
+  struct Case {
+    std::string name;
+    Tree tree;
+    Trace trace;
+    std::size_t capacity;
+  };
+  std::vector<Case> cases;
+  {
+    Rng rng(11);
+    Tree tree = trees::random_recursive(2000, rng);
+    Trace trace = workload::uniform_trace(tree, 400000, 0.45, rng);
+    cases.push_back({"uniform-2k", std::move(tree), std::move(trace), 64});
+  }
+  {
+    Rng rng(13);
+    Tree tree = trees::random_bounded_degree(5000, 3, rng);
+    Trace trace = workload::zipf_trace(tree, 400000, 1.0, 0.35, rng);
+    cases.push_back({"zipf-5k", std::move(tree), std::move(trace), 128});
+  }
+  {
+    // Large adversarial star: DP would need 2^257 states; the certificate
+    // still works.
+    const std::size_t k = 256;
+    Tree star = trees::star(k + 1);
+    TreeCache probe(star, {.alpha = alpha, .capacity = k});
+    Trace trace = workload::run_paging_adversary(probe, star, alpha, 4000);
+    cases.push_back({"adversary-256", std::move(star), std::move(trace), k});
+  }
+
+  for (const Case& c : cases) {
+    TreeCache tc(c.tree, {.alpha = alpha, .capacity = c.capacity});
+    FieldTracker tracker(c.tree, alpha);
+    for (const Request& r : c.trace) tracker.observe(r, tc.step(r));
+    tracker.finalize();
+    tracker.verify_period_accounting();
+    tracker.verify_lemma_5_3(alpha);
+
+    // Shift every field; the procedures throw if any lemma step fails.
+    std::size_t shifted = 0;
+    std::uint64_t full = 0;
+    std::uint64_t members = 0;
+    for (const Field& field : tracker.fields()) {
+      if (field.artificial) continue;
+      const auto slots = tracker.field_slots(field);
+      if (field.positive()) {
+        const auto result = analysis::shift_positive_field_down(
+            c.tree, field, slots, alpha);
+        full += result.full_members;
+      } else {
+        const auto result =
+            analysis::shift_negative_field_up(c.tree, field, slots, alpha);
+        full += field.size();  // Corollary 5.8: all members exactly alpha
+        (void)result;
+      }
+      members += field.size();
+      ++shifted;
+    }
+
+    // Two certificates: versus an equally-sized offline cache (R = k) and
+    // versus a half-sized one (R ~ 2, where Lemma 5.14 has real teeth).
+    const std::uint64_t cert_equal = analysis::certified_opt_lower_bound(
+        tracker, c.tree.height(), {.alpha = alpha, .k_opt = c.capacity});
+    const std::uint64_t cert_half = analysis::certified_opt_lower_bound(
+        tracker, c.tree.height(),
+        {.alpha = alpha, .k_opt = c.capacity / 2});
+    auto ratio_of = [&](std::uint64_t cert) {
+      return cert == 0 ? 0.0
+                       : static_cast<double>(tc.cost().total()) /
+                             static_cast<double>(cert);
+    };
+    table.add_row(
+        {c.name, ConsoleTable::fmt(std::uint64_t{c.tree.size()}),
+         ConsoleTable::fmt(std::uint64_t{c.tree.height()}),
+         ConsoleTable::fmt(tc.cost().total()),
+         ConsoleTable::fmt(cert_half),
+         ConsoleTable::fmt(ratio_of(cert_half), 1),
+         ConsoleTable::fmt(ratio_of(cert_equal), 1),
+         ConsoleTable::fmt(std::uint64_t{shifted}),
+         ConsoleTable::fmt(static_cast<double>(full) /
+                               static_cast<double>(std::max<std::uint64_t>(
+                                   members, 1)),
+                           3)});
+  }
+  table.print();
+  sim::print_note(
+      "reading",
+      "every field of every run shifts cleanly (no lemma 5.5-5.10 check "
+      "fires) and after shifting nearly all field members are full. The "
+      "certificates are sound but inherit the analysis constants: against "
+      "a half-sized offline cache (R~2, Lemma 5.14 active) they certify "
+      "single-digit ratios; against an equal cache (R=k) the Lemma 5.11 "
+      "term's 1/(8h) constant dominates and the bound is loose");
+  return 0;
+}

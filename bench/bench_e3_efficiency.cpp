@@ -1,0 +1,85 @@
+// E3 — Theorem 6.1 (efficiency): per-request cost of TC is
+// O(h(T) + max{h(T), deg(T)}·|X_t|) with O(|T|) memory — in particular
+// INDEPENDENT of |T| at fixed height/degree.
+//
+// Google-benchmark microbenchmarks sweep |T| (fixed height), the height
+// (spiders) and the degree (stars). The custom counter "work/req" reports
+// TC's elementary-operation counter per request alongside wall time.
+#include <benchmark/benchmark.h>
+
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+using namespace treecache;
+
+namespace {
+
+/// Drives TC over a pre-generated trace, reporting ns and work per request.
+void run_tc(benchmark::State& state, const Tree& tree, const Trace& trace,
+            std::uint64_t alpha, std::size_t capacity) {
+  TreeCache tc(tree, {.alpha = alpha, .capacity = capacity});
+  std::size_t cursor = 0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    tc.step(trace[cursor]);
+    if (++cursor == trace.size()) cursor = 0;
+    ++requests;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  state.counters["work/req"] = benchmark::Counter(
+      static_cast<double>(tc.work()) / static_cast<double>(requests));
+  state.counters["h(T)"] = static_cast<double>(tree.height());
+  state.counters["deg(T)"] = static_cast<double>(tree.max_degree());
+}
+
+/// |T| sweep at fixed height 8: per-request cost must not grow with |T|.
+void BM_TreeSizeFixedHeight(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  const Tree tree = trees::random_bounded_height(n, 8, rng);
+  const Trace trace = workload::zipf_trace(tree, 1 << 16, 0.9, 0.3, rng);
+  run_tc(state, tree, trace, 8, n / 8);
+}
+BENCHMARK(BM_TreeSizeFixedHeight)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+
+/// Height sweep at fixed |T|: spiders with longer and longer legs.
+void BM_HeightSweep(benchmark::State& state) {
+  const auto leg = static_cast<std::size_t>(state.range(0));
+  const std::size_t legs = 4096 / leg;
+  Rng rng(7);
+  const Tree tree = trees::spider(legs, leg);
+  const Trace trace = workload::zipf_trace(tree, 1 << 16, 0.9, 0.3, rng);
+  run_tc(state, tree, trace, 8, tree.size() / 4);
+}
+BENCHMARK(BM_HeightSweep)->RangeMultiplier(4)->Range(4, 1024);
+
+/// Degree sweep at fixed |T|: stars and shallow k-ary trees.
+void BM_DegreeSweep(benchmark::State& state) {
+  const auto arity = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  // Three levels with the given arity: degree = arity, height = 3.
+  const Tree tree = trees::complete_kary(3, arity);
+  const Trace trace = workload::zipf_trace(tree, 1 << 16, 0.9, 0.3, rng);
+  run_tc(state, tree, trace, 8, tree.size() / 4);
+}
+BENCHMARK(BM_DegreeSweep)->RangeMultiplier(4)->Range(4, 256);
+
+/// Memory sanity: construction is O(|T|) — bench the setup cost.
+void BM_Construction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Tree tree = trees::random_bounded_height(n, 12, rng);
+  for (auto _ : state) {
+    TreeCache tc(tree, {.alpha = 4, .capacity = 64});
+    benchmark::DoNotOptimize(tc.cache().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Construction)->RangeMultiplier(16)->Range(1 << 12, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E5 — Figure 3 / Lemma 5.11 accounting: in/out periods of nodes within a
+// phase satisfy p_out = p_in + k_P, and full periods (>= alpha/2 requests)
+// carry the lower-bound argument for OPT.
+#include <vector>
+
+#include "core/field_tracker.hpp"
+#include "core/tree_cache.hpp"
+#include "sim/reporting.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace treecache;
+
+int main() {
+  sim::print_experiment_banner(
+      "E5", "Figure 3 / Lemma 5.11 — in/out period accounting",
+      "per phase: p_out = p_in + k_P; all in periods carry exactly alpha "
+      "requests' worth of counters, out periods at least their share after "
+      "shifting");
+
+  const std::uint64_t alpha = 4;
+  Rng rng(99);
+  const Tree tree = trees::random_recursive(120, rng);
+
+  ConsoleTable table({"k", "phases", "finished", "p_out", "p_in",
+                      "sum k_P", "identity", "full in-periods",
+                      "full out-periods"});
+  for (const std::size_t k : {6u, 12u, 24u, 48u}) {
+    Rng inst(rng());
+    const Trace trace = workload::uniform_trace(tree, 80000, 0.4, inst);
+    TreeCache tc(tree, {.alpha = alpha, .capacity = k});
+    FieldTracker tracker(tree, alpha);
+    for (const Request& r : trace) tracker.observe(r, tc.step(r));
+    tracker.finalize();
+    tracker.verify_period_accounting();
+    tracker.verify_lemma_5_3(alpha);
+
+    std::uint64_t p_out = 0;
+    std::uint64_t p_in = 0;
+    std::uint64_t sum_kp = 0;
+    std::uint64_t finished = 0;
+    for (const auto& p : tracker.phases()) {
+      p_out += p.p_out;
+      p_in += p.p_in;
+      sum_kp += p.k_end;
+      finished += p.finished ? 1 : 0;
+    }
+    // Full periods BEFORE any shifting: a member with >= alpha/2 requests.
+    std::uint64_t full_in = 0;
+    std::uint64_t total_in = 0;
+    std::uint64_t full_out = 0;
+    std::uint64_t total_out = 0;
+    for (const Field& f : tracker.fields()) {
+      for (const FieldMember& m : f.members) {
+        const bool full = m.requests >= alpha / 2;
+        if (f.positive()) {
+          ++total_out;
+          full_out += full ? 1 : 0;
+        } else {
+          ++total_in;
+          full_in += full ? 1 : 0;
+        }
+      }
+    }
+    auto pct = [](std::uint64_t a, std::uint64_t b) {
+      return b == 0 ? std::string("-")
+                    : ConsoleTable::fmt(100.0 * static_cast<double>(a) /
+                                            static_cast<double>(b),
+                                        1) +
+                          "%";
+    };
+    table.add_row({ConsoleTable::fmt(std::uint64_t{k}),
+                   ConsoleTable::fmt(std::uint64_t{tracker.phases().size()}),
+                   ConsoleTable::fmt(finished), ConsoleTable::fmt(p_out),
+                   ConsoleTable::fmt(p_in), ConsoleTable::fmt(sum_kp),
+                   p_out == p_in + sum_kp ? "holds" : "VIOLATED",
+                   pct(full_in, total_in), pct(full_out, total_out)});
+  }
+  table.print();
+  sim::print_note(
+      "reading",
+      "p_out = p_in + sum(k_P) exactly; in periods are mostly full even "
+      "before shifting (negative fields distribute evenly, Cor. 5.8), out "
+      "periods need the 1/(2h) shifting argument (Lemma 5.10)");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E6 — Figure 4 / Appendix D: the positive field whose requests cannot be
+// spread evenly. Replays the five-stage construction, verifies that TC
+// performs exactly the scripted changesets, and quantifies the request
+// concentration in the final whole-tree field.
+#include <algorithm>
+
+#include "core/field_tracker.hpp"
+#include "core/tree_cache.hpp"
+#include "sim/reporting.hpp"
+#include "util/table.hpp"
+#include "workload/gadget.hpp"
+
+using namespace treecache;
+
+int main() {
+  sim::print_experiment_banner(
+      "E6", "Figure 4 / Appendix D — the troublesome positive field",
+      "within a positive field, down-shifting can give alpha/2 requests to "
+      "only ~half of the nodes (exact even distribution is impossible)");
+
+  ConsoleTable table({"leaves", "alpha", "|T|", "script ok", "field size",
+                      "req on r+T1", "req on T2", "nodes w/ >=a/2",
+                      "frac of field"});
+  for (const auto& [leaves, alpha] :
+       std::vector<std::pair<std::size_t, std::uint64_t>>{
+           {4, 4}, {8, 4}, {8, 16}, {16, 8}, {32, 8}}) {
+    const auto script = workload::build_appendix_d_gadget(leaves, alpha);
+    TreeCache tc(script.tree,
+                 {.alpha = alpha, .capacity = script.tree.size()});
+    FieldTracker tracker(script.tree, alpha);
+
+    bool ok = true;
+    std::size_t next = 0;
+    for (std::size_t round = 1; round <= script.trace.size(); ++round) {
+      const StepOutcome out = tc.step(script.trace[round - 1]);
+      tracker.observe(script.trace[round - 1], out);
+      if (next < script.expectations.size() &&
+          script.expectations[next].round == round) {
+        std::vector<NodeId> got(out.changed.begin(), out.changed.end());
+        std::sort(got.begin(), got.end());
+        ok &= out.change == script.expectations[next].kind &&
+              got == script.expectations[next].nodes;
+        ++next;
+      } else {
+        ok &= out.change == ChangeKind::kNone;
+      }
+    }
+    ok &= next == script.expectations.size();
+    tracker.finalize();
+
+    const Field& final_field = tracker.fields().back();
+    std::uint64_t on_t1r = 0;
+    std::uint64_t on_t2 = 0;
+    std::uint64_t nodes_half = 0;
+    for (const FieldMember& m : final_field.members) {
+      const bool in_t2 = std::binary_search(script.t2_nodes.begin(),
+                                            script.t2_nodes.end(), m.node);
+      (in_t2 ? on_t2 : on_t1r) += m.requests;
+      nodes_half += m.requests >= alpha / 2 ? 1 : 0;
+    }
+    table.add_row(
+        {ConsoleTable::fmt(std::uint64_t{leaves}), ConsoleTable::fmt(alpha),
+         ConsoleTable::fmt(std::uint64_t{script.tree.size()}),
+         ok ? "yes" : "NO",
+         ConsoleTable::fmt(std::uint64_t{final_field.size()}),
+         ConsoleTable::fmt(on_t1r), ConsoleTable::fmt(on_t2),
+         ConsoleTable::fmt(nodes_half),
+         ConsoleTable::fmt(static_cast<double>(nodes_half) /
+                               static_cast<double>(final_field.size()),
+                           3)});
+  }
+  table.print();
+  sim::print_note(
+      "reading",
+      "the final field spans the whole tree (2s+1 nodes) but T2's s nodes "
+      "hold zero requests: even after optimal legal down-shifting only "
+      "about half the nodes can reach alpha/2 — matching Appendix D");
+  sim::print_note(
+      "note",
+      "stages 4/5 shift one request versus the paper's informal counts; "
+      "under the exact saturation rule the paper's numbers would fetch T1 "
+      "early (see workload/gadget.hpp)");
+  return 0;
+}

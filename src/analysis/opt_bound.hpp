@@ -1,0 +1,39 @@
+// Certified lower bounds on the offline optimum (Lemmas 5.11 and 5.14).
+//
+// The exact offline DP (baselines/opt_offline.hpp) is limited to ~16 nodes.
+// The paper's analysis, however, yields *instance-specific certificates*
+// computable from a TC run's field partition:
+//
+//   * Lemma 5.11:  Opt(P) >= (size(F)/(4h(T)) − k_P) · α/2   per phase;
+//   * Lemma 5.14:  Opt(P) >= (k_P − k_OPT) · α               per finished
+//     phase (the derivation inside its proof).
+//
+// Summing the per-phase maxima gives a sound lower bound on OPT for any
+// instance size, which turns measured TC costs into *certified* competitive
+// ratios on arbitrarily large inputs (bench E13).
+#pragma once
+
+#include <cstdint>
+
+#include "core/field_tracker.hpp"
+
+namespace treecache::analysis {
+
+struct OptBoundConfig {
+  std::uint64_t alpha = 2;
+  std::size_t k_opt = 1;  // offline cache size assumed by Lemma 5.14
+};
+
+/// Lower bound contributed by one phase (max of the two lemma bounds,
+/// clamped at 0).
+[[nodiscard]] std::uint64_t phase_opt_lower_bound(
+    const PhaseFieldSummary& phase, std::uint32_t tree_height,
+    const OptBoundConfig& config);
+
+/// Sound lower bound on Opt(I) for the whole instance: the sum over the
+/// tracker's phases. Requires a finalized tracker.
+[[nodiscard]] std::uint64_t certified_opt_lower_bound(
+    const FieldTracker& tracker, std::uint32_t tree_height,
+    const OptBoundConfig& config);
+
+}  // namespace treecache::analysis

@@ -1,0 +1,224 @@
+#include "analysis/shifting.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace treecache::analysis {
+
+namespace {
+
+/// Per-member shifting state: the window start and the (sorted) rounds of
+/// the requests currently placed at the node.
+struct MemberState {
+  std::uint64_t from_round = 0;
+  std::vector<std::uint64_t> rounds;
+};
+
+std::unordered_map<NodeId, MemberState> index_members(
+    const Field& field, const std::vector<FieldTracker::Slot>& slots) {
+  std::unordered_map<NodeId, MemberState> state;
+  state.reserve(field.members.size());
+  for (const FieldMember& m : field.members) {
+    state[m.node].from_round = m.from_round;
+  }
+  for (const auto& slot : slots) {
+    const auto it = state.find(slot.node);
+    TC_CHECK(it != state.end(), "slot outside the field's members");
+    it->second.rounds.push_back(slot.round);
+  }
+  for (auto& [node, member] : state) {
+    std::sort(member.rounds.begin(), member.rounds.end());
+  }
+  return state;
+}
+
+std::vector<PlacedRequest> collect_placement(
+    const std::unordered_map<NodeId, MemberState>& state) {
+  std::vector<PlacedRequest> placement;
+  for (const auto& [node, member] : state) {
+    for (const std::uint64_t round : member.rounds) {
+      placement.push_back(PlacedRequest{node, round});
+    }
+  }
+  std::sort(placement.begin(), placement.end(),
+            [](const PlacedRequest& a, const PlacedRequest& b) {
+              return a.round != b.round ? a.round < b.round
+                                        : a.node < b.node;
+            });
+  return placement;
+}
+
+}  // namespace
+
+NegativeShiftResult shift_negative_field_up(
+    const Tree& tree, const Field& field,
+    const std::vector<FieldTracker::Slot>& slots, std::uint64_t alpha) {
+  TC_CHECK(field.kind == ChangeKind::kEvict, "not a negative field");
+  auto state = index_members(field, slots);
+
+  // The field's member set X is a tree cap: every member except one (the
+  // cap root) has its parent in X. Process leaves of the remaining cap Y
+  // first (Lemma 5.7's induction): keep the α chronologically-first
+  // requests at the leaf and push the rest to its parent.
+  std::unordered_map<NodeId, std::size_t> pending_children;
+  NodeId cap_root = kNoNode;
+  for (const FieldMember& m : field.members) {
+    pending_children.try_emplace(m.node, 0);
+  }
+  for (const FieldMember& m : field.members) {
+    const NodeId p = tree.parent(m.node);
+    if (p != kNoNode && state.contains(p)) {
+      ++pending_children[p];
+    } else {
+      TC_CHECK(cap_root == kNoNode, "field members are not a single cap");
+      cap_root = m.node;
+    }
+  }
+  TC_CHECK(cap_root != kNoNode, "cap root not found");
+
+  NegativeShiftResult result;
+  std::vector<NodeId> ready;
+  for (const auto& [node, count] : pending_children) {
+    if (count == 0) ready.push_back(node);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const NodeId v = ready.back();
+    ready.pop_back();
+    ++processed;
+    MemberState& member = state.at(v);
+    // Corollary 5.6(2) guarantees at least α requests at any cap leaf once
+    // its descendants' surpluses were pushed up.
+    TC_CHECK(member.rounds.size() >= alpha,
+             "cap leaf holds fewer than alpha requests (Cor. 5.6)");
+    if (v != cap_root) {
+      const NodeId p = tree.parent(v);
+      MemberState& parent = state.at(p);
+      // Move the chronologically-last surplus up; Lemma 5.7 shows these
+      // requests arrive while the parent is already in its field window.
+      for (std::size_t i = alpha; i < member.rounds.size(); ++i) {
+        const std::uint64_t round = member.rounds[i];
+        TC_CHECK(round >= parent.from_round,
+                 "shifted request would leave the field (Lemma 5.7)");
+        parent.rounds.push_back(round);
+        ++result.moved;
+      }
+      member.rounds.resize(alpha);
+      std::sort(parent.rounds.begin(), parent.rounds.end());
+      if (--pending_children[p] == 0) ready.push_back(p);
+    } else {
+      TC_CHECK(member.rounds.size() == alpha,
+               "cap root must end with exactly alpha requests");
+    }
+  }
+  TC_CHECK(processed == field.members.size(), "cap traversal incomplete");
+
+  for (const auto& [node, member] : state) {
+    TC_CHECK(member.rounds.size() == alpha,
+             "Corollary 5.8 postcondition violated");
+  }
+  result.placement = collect_placement(state);
+  TC_CHECK(result.placement.size() == field.requests,
+           "shifting must conserve requests");
+  return result;
+}
+
+PositiveShiftResult shift_positive_field_down(
+    const Tree& tree, const Field& field,
+    const std::vector<FieldTracker::Slot>& slots, std::uint64_t alpha) {
+  TC_CHECK(field.kind == ChangeKind::kFetch, "not a positive field");
+  TC_CHECK(alpha % 2 == 0, "Lemma 5.10 assumes an even alpha");
+  const std::uint64_t half = alpha / 2;
+  auto state = index_members(field, slots);
+
+  // Partition the members into layers by root distance and pick the layer
+  // carrying the most half-α groups (pigeonhole: >= |X|/h groups).
+  std::unordered_map<NodeId, std::size_t> groups;
+  std::uint64_t total_groups = 0;
+  std::vector<std::vector<NodeId>> layers(tree.height());
+  for (const FieldMember& m : field.members) {
+    const std::size_t g = state.at(m.node).rounds.size() / half;
+    groups[m.node] = g;
+    total_groups += g;
+    layers[tree.depth(m.node)].push_back(m.node);
+  }
+  TC_CHECK(total_groups >= field.members.size(),
+           "fewer than |X| groups despite req(F) = |X| alpha");
+  std::size_t best_layer = 0;
+  std::uint64_t best_groups = 0;
+  for (std::size_t d = 0; d < layers.size(); ++d) {
+    std::uint64_t layer_groups = 0;
+    for (const NodeId v : layers[d]) layer_groups += groups[v];
+    if (layer_groups > best_groups) {
+      best_groups = layer_groups;
+      best_layer = d;
+    }
+  }
+
+  PositiveShiftResult result;
+  // Lemma 5.9 per layer node: order the members of T(v) ∩ X by their
+  // window start (earlier = evicted earlier = will be refetched deeper in
+  // the cap), ties broken by depth (closer to v first); the j-th gets the
+  // j-th block of α/2 requests.
+  for (const NodeId v : layers[best_layer]) {
+    const std::size_t c = groups[v];
+    if (c == 0) continue;
+    std::vector<NodeId> targets;
+    for (const FieldMember& m : field.members) {
+      if (tree.is_ancestor_or_self(v, m.node)) targets.push_back(m.node);
+    }
+    std::sort(targets.begin(), targets.end(), [&](NodeId a, NodeId b) {
+      const auto fa = state.at(a).from_round;
+      const auto fb = state.at(b).from_round;
+      if (fa != fb) return fa < fb;
+      return tree.depth(a) < tree.depth(b);
+    });
+    TC_CHECK(!targets.empty() && targets.front() == v,
+             "v must be its own first target (earliest window)");
+    const std::size_t blocks = (c + 1) / 2;  // ⌈c/2⌉
+    TC_CHECK(blocks <= targets.size(),
+             "not enough targets for the blocks (Lemma 5.5(2))");
+    const std::vector<std::uint64_t> rounds = state.at(v).rounds;
+    std::vector<std::uint64_t> keep(rounds.begin(),
+                                    rounds.begin() +
+                                        static_cast<std::ptrdiff_t>(half));
+    // Block j (1-based) covers chronological requests
+    // (j-1)*alpha + 1 .. (j-1)*alpha + alpha/2.
+    for (std::size_t j = 2; j <= blocks; ++j) {
+      const std::size_t begin = (j - 1) * alpha;  // 0-based index
+      MemberState& target = state.at(targets[j - 1]);
+      for (std::size_t i = 0; i < half; ++i) {
+        const std::uint64_t round = rounds[begin + i];
+        TC_CHECK(round >= target.from_round,
+                 "down-shifted request would leave the field (Lemma 5.9)");
+        target.rounds.push_back(round);
+        ++result.moved;
+      }
+    }
+    // v keeps everything not assigned to deeper targets.
+    std::vector<std::uint64_t> remaining = keep;
+    for (std::size_t i = half; i < rounds.size(); ++i) {
+      const std::size_t block = i / alpha + 1;
+      const bool shipped = block >= 2 && block <= blocks &&
+                           (i % alpha) < half;
+      if (!shipped) remaining.push_back(rounds[i]);
+    }
+    state.at(v).rounds = std::move(remaining);
+  }
+  for (auto& [node, member] : state) {
+    std::sort(member.rounds.begin(), member.rounds.end());
+    if (member.rounds.size() >= half) ++result.full_members;
+  }
+
+  // Lemma 5.10 postcondition: at least size(F) / (2h) members are full.
+  const std::size_t required =
+      (field.members.size() + 2 * tree.height() - 1) / (2 * tree.height());
+  TC_CHECK(result.full_members >= required,
+           "Lemma 5.10 postcondition violated");
+  result.placement = collect_placement(state);
+  TC_CHECK(result.placement.size() == field.requests,
+           "shifting must conserve requests");
+  return result;
+}
+
+}  // namespace treecache::analysis

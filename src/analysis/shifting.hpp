@@ -1,0 +1,65 @@
+// Request shifting (Section 5.2) — the core machinery of the paper's
+// competitive analysis, implemented as executable procedures with their
+// postconditions checked.
+//
+// The analysis transforms a phase's requests by *legal shifts* (positive
+// requests move down the tree, negative requests move up, always inside
+// their field), producing an input that is no harder for OPT but (almost)
+// evenly distributed:
+//
+//   * Corollary 5.8: within a negative field the requests can be shifted UP
+//     so every member holds exactly α of them.
+//   * Lemmas 5.9/5.10: within a positive field the requests can be shifted
+//     DOWN so at least size(F)/(2h(T)) members hold at least α/2 each —
+//     and by Appendix D (see workload/gadget.hpp) this is essentially the
+//     best possible.
+//
+// Each procedure throws CheckFailure if any step the paper's proof relies
+// on fails (a shifted request leaving the field, a missing shift target,
+// a count mismatch) — running them over real TC executions is a direct
+// machine check of Lemmas 5.5–5.10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field_tracker.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache::analysis {
+
+/// One request placement after shifting.
+struct PlacedRequest {
+  NodeId node;
+  std::uint64_t round;
+};
+
+struct NegativeShiftResult {
+  std::vector<PlacedRequest> placement;  // exactly α per field member
+  std::size_t moved = 0;                 // requests that changed node
+};
+
+/// Corollary 5.8: shifts a negative field's requests up so that every
+/// member ends with exactly α requests. `slots` must be the field's slots
+/// (FieldTracker::field_slots). Verifies legality (only upward moves, the
+/// target slot stays within the field) and the exact-α postcondition.
+[[nodiscard]] NegativeShiftResult shift_negative_field_up(
+    const Tree& tree, const Field& field,
+    const std::vector<FieldTracker::Slot>& slots, std::uint64_t alpha);
+
+struct PositiveShiftResult {
+  std::vector<PlacedRequest> placement;
+  std::size_t moved = 0;
+  /// Members holding at least α/2 requests after shifting; guaranteed to
+  /// be at least size(F) / (2 h(T)).
+  std::size_t full_members = 0;
+};
+
+/// Lemma 5.10: shifts a positive field's requests down so that at least
+/// size(F)/(2h) members hold at least α/2 requests each. Requires α even
+/// (the paper's standing assumption). Verifies legality and the bound.
+[[nodiscard]] PositiveShiftResult shift_positive_field_down(
+    const Tree& tree, const Field& field,
+    const std::vector<FieldTracker::Slot>& slots, std::uint64_t alpha);
+
+}  // namespace treecache::analysis

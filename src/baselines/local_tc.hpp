@@ -1,0 +1,52 @@
+// Ablation baseline: TC without the aggregate saturation / maximality scan.
+//
+// LocalTC keeps the same per-node rent-or-buy counters as TC but makes
+// purely local decisions:
+//  * a positive miss at v fetches P_t(v) once v's OWN counter has paid for
+//    the whole set (cnt(v) >= |P_t(v)|·α) — counters of v's relatives never
+//    help, and no ancestor candidate is ever considered;
+//  * a paid negative request at v evicts v and its cached ancestors once
+//    cnt(v) >= (1 + #cached ancestors)·α;
+//  * a fetch that does not fit evicts the whole cache (phase-like restart).
+//
+// Comparing LocalTC against TC (bench E12) isolates the value of the
+// paper's two aggregation mechanisms: counting requests across whole
+// candidate changesets and choosing maximal saturated sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/online_algorithm.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+struct LocalTcConfig {
+  std::uint64_t alpha = 2;
+  std::size_t capacity = 16;
+};
+
+class LocalTc final : public OnlineAlgorithm {
+ public:
+  LocalTc(const Tree& tree, LocalTcConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "LocalTC"; }
+  StepOutcome step(Request request) override;
+  void reset() override;
+  [[nodiscard]] const Subforest& cache() const override { return cache_; }
+  [[nodiscard]] const Cost& cost() const override { return cost_; }
+
+ private:
+  StepOutcome handle_positive(NodeId v);
+  StepOutcome handle_negative(NodeId v);
+
+  const Tree* tree_;
+  LocalTcConfig config_;
+  Subforest cache_;
+  Cost cost_;
+  std::vector<std::uint64_t> cnt_;
+  std::vector<NodeId> changeset_;
+};
+
+}  // namespace treecache

@@ -1,0 +1,36 @@
+// Trivial baseline: never caches anything; every positive request is paid.
+// Its cost equals the number of positive requests — the "no router cache"
+// floor in the FIB experiments.
+#pragma once
+
+#include "core/online_algorithm.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+class NeverCache final : public OnlineAlgorithm {
+ public:
+  explicit NeverCache(const Tree& tree) : cache_(tree) {}
+
+  [[nodiscard]] std::string_view name() const override { return "NoCache"; }
+
+  StepOutcome step(Request request) override {
+    TC_CHECK(request.node < cache_.tree().size(), "request outside the tree");
+    StepOutcome out;
+    if (request.sign == Sign::kPositive) {
+      out.paid = true;
+      ++cost_.service;
+    }
+    return out;
+  }
+
+  void reset() override { cost_ = Cost{}; }
+  [[nodiscard]] const Subforest& cache() const override { return cache_; }
+  [[nodiscard]] const Cost& cost() const override { return cost_; }
+
+ private:
+  Subforest cache_;
+  Cost cost_;
+};
+
+}  // namespace treecache

@@ -1,0 +1,126 @@
+#include "baselines/opt_offline.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace treecache {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max() / 4;
+
+/// valid[mask] ⇔ the mask is descendant-closed (a subforest of the tree).
+std::vector<std::uint8_t> compute_valid_masks(const Tree& tree) {
+  const std::size_t n = tree.size();
+  const std::size_t count = std::size_t{1} << n;
+  std::vector<std::uint8_t> valid(count, 1);
+  for (std::uint64_t mask = 0; mask < count; ++mask) {
+    for (NodeId v = 0; v < n && valid[mask]; ++v) {
+      if (!(mask >> v & 1)) continue;
+      for (const NodeId c : tree.children(v)) {
+        if (!(mask >> c & 1)) {
+          valid[mask] = 0;
+          break;
+        }
+      }
+    }
+  }
+  return valid;
+}
+
+std::uint64_t service_charge(const Request& r, std::uint64_t mask) {
+  const bool cached = (mask >> r.node) & 1;
+  return (r.sign == Sign::kPositive) ? (cached ? 0 : 1) : (cached ? 1 : 0);
+}
+
+}  // namespace
+
+std::uint64_t opt_offline_cost(const Tree& tree, const Trace& trace,
+                               const OptOfflineConfig& config) {
+  const std::size_t n = tree.size();
+  TC_CHECK(n <= 20, "exact OPT supports at most 20 nodes");
+  TC_CHECK(config.alpha >= 1, "alpha must be positive");
+  const std::size_t count = std::size_t{1} << n;
+  const auto valid = compute_valid_masks(tree);
+
+  auto feasible = [&](std::uint64_t mask) {
+    return valid[mask] &&
+           static_cast<std::size_t>(std::popcount(mask)) <= config.capacity;
+  };
+
+  // Free choice of initial cache (paid at alpha per node).
+  std::vector<std::uint64_t> dp(count, kInf);
+  for (std::uint64_t mask = 0; mask < count; ++mask) {
+    if (feasible(mask)) {
+      dp[mask] =
+          config.alpha * static_cast<std::uint64_t>(std::popcount(mask));
+    }
+  }
+
+  std::vector<std::uint64_t> relax(count);
+  for (const Request& r : trace) {
+    // 1) Serve the request in the current state.
+    for (std::uint64_t mask = 0; mask < count; ++mask) {
+      if (dp[mask] < kInf) dp[mask] += service_charge(r, mask);
+    }
+    // 2) Reorganize: exact min-plus with the α·Hamming metric. One pass per
+    //    bit computes min_s dp[s] + α·|s Δ s'| for every s'.
+    relax = dp;
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      for (std::uint64_t mask = 0; mask < count; ++mask) {
+        const std::uint64_t other = relax[mask ^ bit] + config.alpha;
+        if (other < relax[mask]) relax[mask] = other;
+      }
+    }
+    // 3) End-of-round caches must be feasible.
+    for (std::uint64_t mask = 0; mask < count; ++mask) {
+      dp[mask] = feasible(mask) ? relax[mask] : kInf;
+    }
+  }
+  return *std::min_element(dp.begin(), dp.end());
+}
+
+namespace {
+std::uint64_t brute(const Tree& tree, const Trace& trace,
+                    const OptOfflineConfig& config, std::size_t round,
+                    std::uint64_t mask,
+                    const std::vector<std::uint64_t>& states) {
+  if (round == trace.size()) return 0;
+  const std::uint64_t serve = service_charge(trace[round], mask);
+  std::uint64_t best = kInf;
+  for (const std::uint64_t next : states) {
+    const auto moved = static_cast<std::uint64_t>(std::popcount(mask ^ next));
+    const std::uint64_t tail =
+        brute(tree, trace, config, round + 1, next, states);
+    best = std::min(best, config.alpha * moved + tail);
+  }
+  return serve + best;
+}
+}  // namespace
+
+std::uint64_t opt_offline_cost_bruteforce(const Tree& tree, const Trace& trace,
+                                          const OptOfflineConfig& config) {
+  const std::size_t n = tree.size();
+  TC_CHECK(n <= 6 && trace.size() <= 6,
+           "brute force limited to tiny instances");
+  const auto valid = compute_valid_masks(tree);
+  std::vector<std::uint64_t> states;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    if (valid[mask] &&
+        static_cast<std::size_t>(std::popcount(mask)) <= config.capacity) {
+      states.push_back(mask);
+    }
+  }
+  std::uint64_t best = kInf;
+  for (const std::uint64_t start : states) {
+    const auto fetch =
+        config.alpha * static_cast<std::uint64_t>(std::popcount(start));
+    best = std::min(best,
+                    fetch + brute(tree, trace, config, 0, start, states));
+  }
+  return best;
+}
+
+}  // namespace treecache

@@ -1,0 +1,40 @@
+// Exact offline optimum for online tree caching (small trees).
+//
+// The offline optimum may reorganize the cache arbitrarily after every round
+// at α per changed node, subject to the subforest and capacity constraints
+// on the end-of-round cache. States are bitmasks over nodes; the per-round
+// transition dp'[s'] = min_s dp[s] + α·|s Δ s'| is computed exactly with one
+// relaxation pass per bit over the whole hypercube (intermediate masks may
+// be invalid — only end-of-round caches are constrained by the model).
+//
+// OPT is allowed a free choice of initial cache (paying α per fetched node
+// before round 1), which can only strengthen it; measured competitive
+// ratios are therefore conservative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+struct OptOfflineConfig {
+  std::uint64_t alpha = 2;
+  std::size_t capacity = 4;  // k_OPT
+};
+
+/// Exact minimum total cost over all offline strategies. Requires
+/// tree.size() <= 20 (the DP is Θ(rounds · n · 2^n)).
+[[nodiscard]] std::uint64_t opt_offline_cost(const Tree& tree,
+                                             const Trace& trace,
+                                             const OptOfflineConfig& config);
+
+/// Brute-force reference: tries every sequence of valid cache states (one
+/// per round boundary). Exponential in rounds·states — only for cross
+/// checking the DP on trivially small instances (n <= 6, rounds <= 6).
+[[nodiscard]] std::uint64_t opt_offline_cost_bruteforce(
+    const Tree& tree, const Trace& trace, const OptOfflineConfig& config);
+
+}  // namespace treecache

@@ -1,0 +1,95 @@
+// Classic paging algorithms (Sleator–Tarjan setting) used by the
+// Appendix C reduction experiments: LRU, FIFO, Flush-When-Full, and the
+// offline optimum (Belady). Pages are dense ids 0..universe-1; a request
+// faults iff the page is absent, the page is then fetched (evicting some
+// page when full). Cost = number of faults.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace treecache {
+
+using PageId = std::uint32_t;
+
+class PagingAlgorithm {
+ public:
+  virtual ~PagingAlgorithm() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Serves one request; returns true on a fault.
+  virtual bool access(PageId page) = 0;
+  virtual void reset() = 0;
+  [[nodiscard]] virtual bool cached(PageId page) const = 0;
+  [[nodiscard]] std::uint64_t faults() const { return faults_; }
+
+ protected:
+  std::uint64_t faults_ = 0;
+};
+
+/// Least-Recently-Used.
+class LruPaging final : public PagingAlgorithm {
+ public:
+  explicit LruPaging(std::size_t k) : k_(k) { TC_CHECK(k_ >= 1, "k >= 1"); }
+  [[nodiscard]] std::string_view name() const override { return "LRU"; }
+  bool access(PageId page) override;
+  void reset() override;
+  [[nodiscard]] bool cached(PageId page) const override {
+    return position_.contains(page);
+  }
+
+ private:
+  std::size_t k_;
+  std::list<PageId> order_;  // most recent at front
+  std::unordered_map<PageId, std::list<PageId>::iterator> position_;
+};
+
+/// First-In-First-Out.
+class FifoPaging final : public PagingAlgorithm {
+ public:
+  explicit FifoPaging(std::size_t k) : k_(k) { TC_CHECK(k_ >= 1, "k >= 1"); }
+  [[nodiscard]] std::string_view name() const override { return "FIFO"; }
+  bool access(PageId page) override;
+  void reset() override;
+  [[nodiscard]] bool cached(PageId page) const override {
+    for (const PageId p : queue_) {
+      if (p == page) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t k_;
+  std::deque<PageId> queue_;
+};
+
+/// Flush-When-Full: empties the cache whenever a fault hits a full cache.
+class FwfPaging final : public PagingAlgorithm {
+ public:
+  explicit FwfPaging(std::size_t k) : k_(k) { TC_CHECK(k_ >= 1, "k >= 1"); }
+  [[nodiscard]] std::string_view name() const override { return "FWF"; }
+  bool access(PageId page) override;
+  void reset() override;
+  [[nodiscard]] bool cached(PageId page) const override {
+    for (const PageId p : cache_) {
+      if (p == page) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<PageId> cache_;
+};
+
+/// Offline optimum (Belady / MIN): number of faults of the
+/// farthest-in-future eviction policy, which is optimal for paging.
+[[nodiscard]] std::uint64_t belady_faults(const std::vector<PageId>& sequence,
+                                          std::size_t k);
+
+}  // namespace treecache

@@ -1,0 +1,50 @@
+// Optimal *static* cache for positive-only workloads ("tree sparsity",
+// Section 7 of the paper, citing Backurs–Indyk–Schmidt SODA'17).
+//
+// A static cache is a subforest chosen once, i.e. a union of complete
+// subtrees T(r_1) ⊔ ... ⊔ T(r_m) of total size at most k. Given per-node
+// positive-request weights, the DP below maximizes the covered weight in
+// O(n·k) amortized time (classic tree-knapsack with subtree-size capping).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+struct StaticOptResult {
+  /// Total request weight served by the cache.
+  std::uint64_t covered_weight = 0;
+  /// Roots of the chosen complete subtrees (an antichain).
+  std::vector<NodeId> chosen_roots;
+  /// Total number of cached nodes (≤ k).
+  std::size_t cached_nodes = 0;
+};
+
+/// Maximizes Σ_{v cached} weight[v] over subforests with at most `capacity`
+/// nodes. weight.size() must equal tree.size().
+[[nodiscard]] StaticOptResult best_static_subforest(
+    const Tree& tree, std::span<const std::uint64_t> weight,
+    std::size_t capacity);
+
+/// Per-node positive-request counts of a trace (the natural weights).
+[[nodiscard]] std::vector<std::uint64_t> positive_weights(const Tree& tree,
+                                                          const Trace& trace);
+
+/// Cost of running the chosen static cache on a trace: α per fetched node
+/// once, plus 1 per positive request outside / negative request inside.
+[[nodiscard]] std::uint64_t static_cache_cost(const Tree& tree,
+                                              const Trace& trace,
+                                              std::uint64_t alpha,
+                                              const StaticOptResult& chosen);
+
+/// Brute-force reference over all subforests (tree.size() <= 18).
+[[nodiscard]] StaticOptResult best_static_subforest_bruteforce(
+    const Tree& tree, std::span<const std::uint64_t> weight,
+    std::size_t capacity);
+
+}  // namespace treecache

@@ -1,0 +1,47 @@
+#include "core/changeset_enum.hpp"
+
+namespace treecache {
+
+namespace {
+std::vector<std::vector<NodeId>> enumerate_subsets(
+    const Subforest& cache, const std::vector<NodeId>& candidates,
+    bool positive, std::size_t max_candidates) {
+  TC_CHECK(candidates.size() <= max_candidates,
+           "too many candidate nodes for exhaustive enumeration");
+  std::vector<std::vector<NodeId>> result;
+  std::vector<NodeId> subset;
+  const std::size_t m = candidates.size();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << m); ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::uint64_t{1} << i)) subset.push_back(candidates[i]);
+    }
+    const bool valid = positive ? cache.is_valid_positive_changeset(subset)
+                                : cache.is_valid_negative_changeset(subset);
+    if (valid) result.push_back(subset);
+  }
+  return result;
+}
+}  // namespace
+
+std::vector<std::vector<NodeId>> enumerate_positive_changesets(
+    const Subforest& cache, std::size_t max_candidates) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < cache.tree().size(); ++v) {
+    if (!cache.contains(v)) candidates.push_back(v);
+  }
+  return enumerate_subsets(cache, candidates, /*positive=*/true,
+                           max_candidates);
+}
+
+std::vector<std::vector<NodeId>> enumerate_negative_changesets(
+    const Subforest& cache, std::size_t max_candidates) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < cache.tree().size(); ++v) {
+    if (cache.contains(v)) candidates.push_back(v);
+  }
+  return enumerate_subsets(cache, candidates, /*positive=*/false,
+                           max_candidates);
+}
+
+}  // namespace treecache

@@ -1,0 +1,28 @@
+// Exhaustive enumeration of valid changesets (small trees only).
+//
+// The specification checker and the property tests need the *raw* definition
+// of TC ("a valid changeset X with cnt(X) ≥ |X|·α exists") rather than the
+// derived candidate characterizations the efficient implementation relies
+// on. On small trees we can afford to enumerate every subset of the
+// candidate nodes and filter by validity.
+#pragma once
+
+#include <vector>
+
+#include "tree/subforest.hpp"
+
+namespace treecache {
+
+/// All valid positive changesets for `cache`: non-empty X disjoint from the
+/// cache with cache ∪ X descendant-closed. Each changeset is sorted by node
+/// id. Requires at most `max_candidates` non-cached nodes (default 20;
+/// throws CheckFailure beyond that — 2^20 subsets is the intended ceiling).
+[[nodiscard]] std::vector<std::vector<NodeId>> enumerate_positive_changesets(
+    const Subforest& cache, std::size_t max_candidates = 20);
+
+/// All valid negative changesets for `cache`: non-empty X ⊆ cache with
+/// cache \ X descendant-closed. Same representation and limits.
+[[nodiscard]] std::vector<std::vector<NodeId>> enumerate_negative_changesets(
+    const Subforest& cache, std::size_t max_candidates = 20);
+
+}  // namespace treecache

@@ -1,0 +1,32 @@
+// Cost accounting shared by all algorithms.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace treecache {
+
+/// Total cost = service (1 per paid request, bypassing model) +
+/// reorganization (α per fetched or evicted node).
+struct Cost {
+  std::uint64_t service = 0;
+  std::uint64_t reorg = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return service + reorg; }
+
+  Cost& operator+=(const Cost& other) {
+    service += other.service;
+    reorg += other.reorg;
+    return *this;
+  }
+
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+  friend bool operator==(const Cost&, const Cost&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Cost& c) {
+  return os << "{service=" << c.service << ", reorg=" << c.reorg
+            << ", total=" << c.total() << '}';
+}
+
+}  // namespace treecache

@@ -1,0 +1,72 @@
+// Specification checker: validates an algorithm run against the paper's
+// *definition* of TC and the invariants of Lemma 5.1 / Claim A.1.
+//
+// The checker mirrors the cache and the counters from the observed
+// (request, outcome) stream alone — it shares no state with the
+// implementation under test. On trees small enough for exhaustive changeset
+// enumeration it verifies, per round:
+//
+//   * the service charge matches the bypassing model;
+//   * Claim A.1, invariant 2: cnt_t(X) ≤ |X|·α for every valid changeset;
+//   * an applied changeset contains the requested node (Lemma 5.1(1)),
+//     is exactly saturated (Lemma 5.1(2)), is a single tree cap
+//     (Lemma 5.1(4)) and is maximal (no valid saturated strict superset);
+//   * after an application no valid changeset is saturated (Lemma 5.1(3));
+//   * when the algorithm does nothing, no valid saturated changeset exists
+//     (TC's definition requires acting whenever one does);
+//   * a phase restart is justified: the abandoned fetch is saturated, valid
+//     and does not fit into the capacity.
+//
+// Violations throw CheckFailure with a description.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/online_algorithm.hpp"
+#include "tree/subforest.hpp"
+
+namespace treecache {
+
+class SpecChecker {
+ public:
+  /// `alpha` and `capacity` must match the algorithm's configuration.
+  /// Exhaustive enumeration is used only when the candidate counts stay at
+  /// most `max_enum_candidates`; otherwise only the cheap per-round checks
+  /// run.
+  SpecChecker(const Tree& tree, std::uint64_t alpha, std::size_t capacity,
+              std::size_t max_enum_candidates = 14);
+
+  /// Feed round t's request and the algorithm's outcome, in order.
+  void observe(Request request, const StepOutcome& outcome);
+
+  [[nodiscard]] const Subforest& mirror_cache() const { return mirror_; }
+  [[nodiscard]] std::uint64_t rounds() const { return round_; }
+
+  /// Number of rounds on which the exhaustive enumeration checks ran.
+  [[nodiscard]] std::uint64_t exhaustive_rounds() const {
+    return exhaustive_rounds_;
+  }
+
+ private:
+  [[nodiscard]] bool enumeration_feasible() const;
+  [[nodiscard]] std::uint64_t cnt_sum(std::span<const NodeId> nodes) const;
+  /// Checks that `changeset` is a single tree cap (one member whose parent
+  /// is outside the set; every other member's parent inside).
+  void check_single_tree_cap(std::span<const NodeId> changeset) const;
+  void check_no_saturated_changeset(const char* when) const;
+  void check_superset_maximality(std::span<const NodeId> changeset,
+                                 bool positive) const;
+
+  const Tree* tree_;
+  std::uint64_t alpha_;
+  std::size_t capacity_;
+  std::size_t max_enum_candidates_;
+
+  Subforest mirror_;
+  std::vector<std::uint64_t> cnt_;
+  std::uint64_t round_ = 0;
+  std::uint64_t exhaustive_rounds_ = 0;
+};
+
+}  // namespace treecache

@@ -1,0 +1,62 @@
+// Reference implementation of TC that recomputes every quantity from
+// scratch each round (O(n) per step).
+//
+// It shares no incremental state with the efficient TreeCache: counters are
+// plain arrays, cnt(P_t(u)) is summed by a fresh DFS per candidate, and
+// H_t(u) is recomputed by direct recursion over the cached tree. The test
+// suite replays identical traces through both implementations and requires
+// bit-identical decisions, costs and cache states — this is the primary
+// defense against bugs in the §6 data structures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/online_algorithm.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+struct NaiveTreeCacheConfig {
+  std::uint64_t alpha = 2;
+  std::size_t capacity = 16;
+};
+
+class NaiveTreeCache final : public OnlineAlgorithm {
+ public:
+  NaiveTreeCache(const Tree& tree, NaiveTreeCacheConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "TC-naive"; }
+  StepOutcome step(Request request) override;
+  void reset() override;
+  [[nodiscard]] const Subforest& cache() const override { return cache_; }
+  [[nodiscard]] const Cost& cost() const override { return cost_; }
+
+  [[nodiscard]] std::uint64_t counter(NodeId v) const { return cnt_[v]; }
+
+ private:
+  StepOutcome handle_positive(NodeId v);
+  StepOutcome handle_negative(NodeId v);
+  void start_new_phase();
+
+  /// Sums counters over P_t(u) (non-cached part of T(u)) and reports size.
+  void measure_missing(NodeId u, std::uint64_t& cnt_out,
+                       std::uint64_t& size_out) const;
+
+  /// The (I, S) value of the best tree cap rooted at cached node x:
+  /// I = cnt(H(x)) − |H(x)|·α, S = |H(x)|.
+  [[nodiscard]] std::pair<std::int64_t, std::uint64_t> best_cap(NodeId x) const;
+
+  /// Collects H(u) in preorder into changeset_.
+  void collect_best_cap(NodeId u);
+
+  const Tree* tree_;
+  NaiveTreeCacheConfig config_;
+  Subforest cache_;
+  std::vector<std::uint64_t> cnt_;
+  Cost cost_;
+  std::vector<NodeId> changeset_;
+  std::vector<NodeId> aborted_buf_;
+};
+
+}  // namespace treecache

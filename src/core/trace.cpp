@@ -1,0 +1,55 @@
+#include "core/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace treecache {
+
+TraceStats stats(const Trace& trace, std::size_t tree_size) {
+  TraceStats s;
+  std::vector<std::uint8_t> seen(tree_size, 0);
+  for (const Request& r : trace) {
+    TC_CHECK(r.node < tree_size, "request to node outside the tree");
+    if (r.sign == Sign::kPositive) {
+      ++s.positives;
+    } else {
+      ++s.negatives;
+    }
+    if (!seen[r.node]) {
+      seen[r.node] = 1;
+      ++s.distinct_nodes;
+    }
+  }
+  return s;
+}
+
+void append_repeated(Trace& trace, Request request, std::size_t count) {
+  trace.insert(trace.end(), count, request);
+}
+
+void save_trace(std::ostream& os, const Trace& trace) {
+  for (const Request& r : trace) {
+    os << (r.sign == Sign::kPositive ? '+' : '-') << r.node << '\n';
+  }
+}
+
+Trace load_trace(std::istream& is, std::size_t tree_size) {
+  Trace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TC_CHECK(line[0] == '+' || line[0] == '-', "request must start with +/-");
+    const Sign sign = line[0] == '+' ? Sign::kPositive : Sign::kNegative;
+    std::size_t pos = 0;
+    const unsigned long node = std::stoul(line.substr(1), &pos);
+    TC_CHECK(pos + 1 == line.size(), "trailing garbage in trace line");
+    TC_CHECK(node < tree_size, "request to node outside the tree");
+    trace.push_back(Request{static_cast<NodeId>(node), sign});
+  }
+  return trace;
+}
+
+}  // namespace treecache

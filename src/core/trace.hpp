@@ -1,0 +1,43 @@
+// Request traces (inputs of the online problem) and helpers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+
+namespace treecache {
+
+/// An input instance: one request per round, rounds numbered from 1.
+using Trace = std::vector<Request>;
+
+/// A trace with marked update chunks: each chunk is a [begin, end) index
+/// range of α consecutive negative requests to one node, modelling a single
+/// rule update (Appendix B). Chunks are disjoint and ordered.
+struct ChunkedTrace {
+  Trace trace;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+};
+
+struct TraceStats {
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  std::size_t distinct_nodes = 0;
+};
+
+/// Counts request kinds and distinct requested nodes.
+[[nodiscard]] TraceStats stats(const Trace& trace, std::size_t tree_size);
+
+/// Appends `count` copies of a request (e.g. the α-chunk of negative
+/// requests modelling one rule update, Appendix B).
+void append_repeated(Trace& trace, Request request, std::size_t count);
+
+/// Serializes to a text stream, one request per line: "+12" / "-3".
+void save_trace(std::ostream& os, const Trace& trace);
+
+/// Parses the save_trace format. Throws CheckFailure on malformed lines or
+/// node ids >= tree_size.
+[[nodiscard]] Trace load_trace(std::istream& is, std::size_t tree_size);
+
+}  // namespace treecache

@@ -1,0 +1,153 @@
+// TC — the online tree caching algorithm of Bienkowski et al. (SPAA 2017),
+// with the efficient data structures of Section 6.
+//
+// The algorithm follows a rent-or-buy scheme organized in phases:
+//  * every node carries a counter, zero at phase start, incremented whenever
+//    the algorithm pays 1 for a request at the node, and reset whenever the
+//    node is fetched or evicted;
+//  * after each round TC looks for a valid changeset X that is *saturated*
+//    (cnt(X) >= |X|·α) and *maximal* (no valid strict superset is saturated)
+//    and applies it;
+//  * if the selected fetch would exceed the capacity k_ONL, TC evicts the
+//    whole cache and starts a new phase.
+//
+// Efficiency (Theorem 6.1): a round costs O(h(T) + max{h(T), deg(T)}·|X_t|)
+// operations with O(|T|) extra memory, where X_t is the applied changeset.
+//  * Positive side (§6.1): because the cache is descendant-closed, the only
+//    fetch candidates after a positive request at v are P_t(u) — the
+//    non-cached part of T(u) — for ancestors u of v. We maintain
+//    cnt(P_t(u)) and |P_t(u)| for every non-cached u and scan the root→v
+//    path for the first saturated candidate (which is then also maximal).
+//  * Negative side (§6.2): eviction candidates are tree caps rooted at the
+//    root u of the maximal cached tree containing v. TC maintains
+//    H_t(u) = argmax val_t over tree caps rooted at u, where
+//    val_t(A) = cnt_t(A) − |A|·α + |A|/(|T|+1). We store val in exact
+//    integer form (I, S) = (cnt(H)−|H|·α, |H|); val(H(u)) > 0 ⇔ I(u) ≥ 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counter_table.hpp"
+#include "core/online_algorithm.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+struct TreeCacheConfig {
+  /// Cost α ≥ 1 of fetching or evicting one node. (The paper assumes α even
+  /// for analysis constants only; the algorithm accepts any α ≥ 1.)
+  std::uint64_t alpha = 2;
+  /// Cache capacity k_ONL ≥ 1.
+  std::size_t capacity = 16;
+};
+
+/// Statistics of one phase, for the analysis-accounting experiments.
+struct PhaseStats {
+  std::uint64_t first_round = 1;  // first round of the phase
+  std::uint64_t last_round = 0;   // 0 while the phase is open
+  bool finished = false;          // ended with a capacity-triggered restart
+  /// k_P: cache size at phase end. For a finished phase this includes the
+  /// abandoned ("artificial") fetch, hence k_P >= k_ONL + 1 (Section 5).
+  std::uint32_t k_end = 0;
+  std::uint64_t fetches = 0;    // nodes fetched in the phase
+  std::uint64_t evictions = 0;  // nodes evicted by negative changesets
+};
+
+class TreeCache final : public OnlineAlgorithm {
+ public:
+  TreeCache(const Tree& tree, TreeCacheConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "TC"; }
+  StepOutcome step(Request request) override;
+  void reset() override;
+  [[nodiscard]] const Subforest& cache() const override { return cache_; }
+  [[nodiscard]] const Cost& cost() const override { return cost_; }
+
+  [[nodiscard]] const Tree& tree() const { return *tree_; }
+  [[nodiscard]] const TreeCacheConfig& config() const { return config_; }
+
+  /// Current round number (number of step() calls since reset).
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+
+  /// Per-node counter value (for tests and instrumentation).
+  [[nodiscard]] std::uint64_t counter(NodeId v) const { return cnt_.get(v); }
+
+  /// Completed and current phases, in order. The last entry is the open
+  /// (possibly unfinished) phase.
+  [[nodiscard]] const std::vector<PhaseStats>& phases() const {
+    return phases_;
+  }
+
+  /// Cumulative count of elementary operations (path steps, aggregate
+  /// updates, changeset-node visits); the empirical counterpart of
+  /// Theorem 6.1's bound.
+  [[nodiscard]] std::uint64_t work() const { return work_; }
+
+  // --- white-box accessors used by the test suite ---------------------
+  /// cnt_t(P_t(u)); meaningful only for non-cached u.
+  [[nodiscard]] std::int64_t debug_pcnt(NodeId u) const { return pcnt_.get(u); }
+  /// |P_t(u)|; meaningful only for non-cached u.
+  [[nodiscard]] std::uint32_t debug_psize(NodeId u) const {
+    return tree_->subtree_size(u) - cached_below_.get(u);
+  }
+  /// I(u) = cnt(H(u)) − |H(u)|·α; meaningful only for cached u.
+  [[nodiscard]] std::int64_t debug_hI(NodeId u) const { return h_value_[u]; }
+  /// S(u) = |H(u)|; meaningful only for cached u.
+  [[nodiscard]] std::uint64_t debug_hS(NodeId u) const { return h_size_[u]; }
+
+ private:
+  StepOutcome handle_positive(NodeId v);
+  StepOutcome handle_negative(NodeId v);
+
+  /// Fetches X = P_t(u) (already collected in changeset_, preorder);
+  /// cnt_x is the counter mass X carried before the resets.
+  void apply_fetch(NodeId u, std::uint64_t cnt_x);
+  /// Evicts H(u) (already collected in changeset_, preorder).
+  void apply_evict(NodeId u);
+  /// Evicts the whole cache and starts a new phase. `aborted_fetch_size` is
+  /// the size of the fetch that did not fit (counted into k_P).
+  void phase_restart(std::uint32_t aborted_fetch_size);
+
+  /// Collects P_t(u) into changeset_ (preorder) and returns cnt(P_t(u)).
+  std::uint64_t collect_missing(NodeId u);
+  /// Collects H(u) into changeset_ (preorder) and returns cnt(H(u)).
+  std::uint64_t collect_h_set(NodeId u);
+
+  /// Propagates a +1 counter increment at cached node v through the (I, S)
+  /// aggregates and returns the root of v's maximal cached tree.
+  NodeId propagate_negative_increment(NodeId v);
+
+  const Tree* tree_;
+  TreeCacheConfig config_;
+
+  Subforest cache_;
+  CounterTable cnt_;
+
+  // §6.1 positive index, valid for non-cached nodes (epoch = phase).
+  EpochArray<std::int64_t> pcnt_;          // cnt_t(P_t(u))
+  EpochArray<std::uint32_t> cached_below_; // |cached ∩ T(u)|
+
+  // §6.2 negative index, valid for cached nodes.
+  std::vector<std::int64_t> h_value_;  // I(u)
+  std::vector<std::uint64_t> h_size_;  // S(u)
+
+  // Lazily maintained superset of the maximal cached roots, used to empty
+  // the cache in O(|cache|) at a phase restart.
+  std::vector<NodeId> root_hints_;
+
+  Cost cost_;
+  std::uint64_t round_ = 0;
+  std::uint64_t work_ = 0;
+  std::vector<PhaseStats> phases_;
+
+  // Scratch buffers (reused across rounds; exposed via StepOutcome::changed).
+  std::vector<NodeId> path_;
+  std::vector<NodeId> changeset_;
+  std::vector<NodeId> aborted_buf_;
+  std::vector<NodeId> stack_;
+  std::vector<std::uint32_t> scratch_count_;
+  std::vector<std::uint8_t> scratch_mark_;
+};
+
+}  // namespace treecache

@@ -1,0 +1,43 @@
+// Appendix B: canonical solutions and the factor-2 cost bound.
+//
+// In the forwarding-table application a rule update is a chunk of α
+// negative requests. A solution is *canonical* if it never modifies the
+// cache in the middle of a chunk. Appendix B argues any solution B can be
+// transformed online into a canonical B' by postponing all mid-chunk cache
+// modifications to the chunk's end, with B'(I) ≤ 2·B(I).
+//
+// run_canonicalized replays a chunked trace through an algorithm while
+// simulating the postponement on a shadow cache, returning both costs so
+// tests and benches can verify the bound (and measure the actual gap).
+#pragma once
+
+#include <cstdint>
+
+#include "core/online_algorithm.hpp"
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache::fib {
+
+struct CanonicalizationReport {
+  Cost raw_cost;        // B: the algorithm's own cost
+  Cost canonical_cost;  // B': serve from the shadow cache, sync at chunk end
+  std::uint64_t chunks = 0;
+  /// Chunks with a cache change strictly before their last round (a change
+  /// at the last round happens after the whole chunk and is already
+  /// canonical).
+  std::uint64_t dirty_chunks = 0;
+
+  [[nodiscard]] double ratio() const {
+    return raw_cost.total() == 0
+               ? 1.0
+               : static_cast<double>(canonical_cost.total()) /
+                     static_cast<double>(raw_cost.total());
+  }
+};
+
+/// Replays `input` through `alg` (which must start fresh on `tree`).
+[[nodiscard]] CanonicalizationReport run_canonicalized(
+    const Tree& tree, const ChunkedTrace& input, OnlineAlgorithm& alg);
+
+}  // namespace treecache::fib

@@ -1,0 +1,44 @@
+#include "fib/ipv4.hpp"
+
+#include <sstream>
+
+namespace treecache::fib {
+
+std::string address_to_string(Address addr) {
+  std::ostringstream os;
+  os << (addr >> 24) << '.' << ((addr >> 16) & 0xff) << '.'
+     << ((addr >> 8) & 0xff) << '.' << (addr & 0xff);
+  return os.str();
+}
+
+Address parse_address(const std::string& text) {
+  std::istringstream is(text);
+  Address addr = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    char dot = 0;
+    TC_CHECK(static_cast<bool>(is >> octet), "malformed IPv4 address");
+    TC_CHECK(octet <= 255, "IPv4 octet out of range");
+    addr = (addr << 8) | octet;
+    if (i < 3) {
+      TC_CHECK(static_cast<bool>(is >> dot) && dot == '.',
+               "malformed IPv4 address");
+    }
+  }
+  return addr;
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  TC_CHECK(slash != std::string::npos, "prefix needs /length");
+  const Address addr = parse_address(text.substr(0, slash));
+  const unsigned long length = std::stoul(text.substr(slash + 1));
+  TC_CHECK(length <= 32, "prefix length out of range");
+  return Prefix::make(addr, static_cast<std::uint8_t>(length));
+}
+
+std::string Prefix::to_string() const {
+  return address_to_string(bits) + "/" + std::to_string(length);
+}
+
+}  // namespace treecache::fib

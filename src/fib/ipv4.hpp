@@ -1,0 +1,49 @@
+// IPv4 addresses and prefixes for the FIB application (§2 of the paper).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace treecache::fib {
+
+using Address = std::uint32_t;
+
+/// A prefix `bits/length`; bits beyond `length` are stored as zero.
+struct Prefix {
+  Address bits = 0;
+  std::uint8_t length = 0;  // 0..32
+
+  /// Normalizes the low bits to zero.
+  static Prefix make(Address bits, std::uint8_t length) {
+    TC_CHECK(length <= 32, "prefix length out of range");
+    const Address mask =
+        length == 0 ? 0 : ~Address{0} << (32 - length);
+    return Prefix{bits & mask, length};
+  }
+
+  /// Parses dotted-quad "a.b.c.d/len". Throws CheckFailure on bad input.
+  static Prefix parse(const std::string& text);
+
+  [[nodiscard]] bool contains(Address addr) const {
+    if (length == 0) return true;
+    const Address mask = ~Address{0} << (32 - length);
+    return (addr & mask) == bits;
+  }
+
+  /// True iff this prefix covers `other` (equal or shorter matching prefix).
+  [[nodiscard]] bool contains(const Prefix& other) const {
+    return length <= other.length && contains(other.bits);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+};
+
+[[nodiscard]] std::string address_to_string(Address addr);
+[[nodiscard]] Address parse_address(const std::string& text);
+
+}  // namespace treecache::fib

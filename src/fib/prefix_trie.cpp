@@ -1,0 +1,48 @@
+#include "fib/prefix_trie.hpp"
+
+namespace treecache::fib {
+
+bool PrefixTrie::insert(Prefix prefix, RuleId rule) {
+  TC_CHECK(rule != kNoRule, "rule id reserved");
+  std::uint32_t node = 0;
+  for (int i = 0; i < prefix.length; ++i) {
+    const int bit = 31 - i;
+    const std::uint32_t branch = (prefix.bits >> bit) & 1;
+    if (nodes_[node].child[branch] == 0) {
+      nodes_[node].child[branch] = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+    }
+    node = nodes_[node].child[branch];
+  }
+  if (nodes_[node].rule != kNoRule) return false;
+  nodes_[node].rule = rule;
+  ++rules_;
+  return true;
+}
+
+std::optional<RuleId> PrefixTrie::exact(Prefix prefix) const {
+  std::uint32_t node = 0;
+  for (int i = 0; i < prefix.length; ++i) {
+    const int bit = 31 - i;
+    const std::uint32_t child = nodes_[node].child[(prefix.bits >> bit) & 1];
+    if (child == 0) return std::nullopt;
+    node = child;
+  }
+  if (nodes_[node].rule == kNoRule) return std::nullopt;
+  return nodes_[node].rule;
+}
+
+std::optional<RuleId> PrefixTrie::parent_rule(Prefix prefix) const {
+  std::optional<RuleId> best;
+  std::uint32_t node = 0;
+  for (int i = 0; i < prefix.length; ++i) {
+    if (nodes_[node].rule != kNoRule) best = nodes_[node].rule;
+    const int bit = 31 - i;
+    const std::uint32_t child = nodes_[node].child[(prefix.bits >> bit) & 1];
+    if (child == 0) break;
+    node = child;
+  }
+  return best;
+}
+
+}  // namespace treecache::fib

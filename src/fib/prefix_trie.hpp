@@ -1,0 +1,69 @@
+// Binary trie over IPv4 prefixes with longest-matching-prefix lookup.
+//
+// The trie is the router's lookup structure: lookup(addr) returns the
+// longest inserted prefix containing addr. lookup_if additionally restricts
+// matches to a caller predicate — the router simulation uses it with
+// "is this rule cached?" to model lookups over the switch's partial FIB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fib/ipv4.hpp"
+
+namespace treecache::fib {
+
+/// Value attached to an inserted prefix (the rule id / tree node id).
+using RuleId = std::uint32_t;
+
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Inserts a prefix; returns false if the exact prefix already exists.
+  bool insert(Prefix prefix, RuleId rule);
+
+  [[nodiscard]] std::size_t size() const { return rules_; }
+
+  /// Longest matching prefix over all rules, or nullopt if none matches.
+  [[nodiscard]] std::optional<RuleId> lookup(Address addr) const {
+    return lookup_if(addr, [](RuleId) { return true; });
+  }
+
+  /// Longest matching prefix among rules accepted by `pred`.
+  template <typename Pred>
+  [[nodiscard]] std::optional<RuleId> lookup_if(Address addr,
+                                                Pred&& pred) const {
+    std::optional<RuleId> best;
+    std::uint32_t node = 0;
+    for (int bit = 31;; --bit) {
+      if (nodes_[node].rule != kNoRule && pred(nodes_[node].rule)) {
+        best = nodes_[node].rule;
+      }
+      if (bit < 0) break;
+      const std::uint32_t child =
+          nodes_[node].child[(addr >> bit) & 1];
+      if (child == 0) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// Rule stored at exactly this prefix, if any.
+  [[nodiscard]] std::optional<RuleId> exact(Prefix prefix) const;
+
+  /// The longest PROPER ancestor prefix of `prefix` that carries a rule.
+  [[nodiscard]] std::optional<RuleId> parent_rule(Prefix prefix) const;
+
+ private:
+  static constexpr RuleId kNoRule = ~RuleId{0};
+  struct Node {
+    std::uint32_t child[2] = {0, 0};  // 0 = absent (node 0 is the root)
+    RuleId rule = kNoRule;
+  };
+  std::vector<Node> nodes_;
+  std::size_t rules_ = 0;
+};
+
+}  // namespace treecache::fib

@@ -1,0 +1,86 @@
+#include "fib/rib_gen.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace treecache::fib {
+
+const std::vector<double>& default_length_histogram() {
+  // Relative masses for /0../32. Peaked at /24 (~55–60% of real tables),
+  // with the secondary ridge across /16../23 and a thin head of short
+  // prefixes — the well-known shape of the global IPv4 table.
+  static const std::vector<double> histogram = [] {
+    std::vector<double> h(33, 0.0);
+    h[8] = 0.4;
+    h[9] = 0.3;
+    h[10] = 0.5;
+    h[11] = 0.7;
+    h[12] = 1.0;
+    h[13] = 1.4;
+    h[14] = 2.0;
+    h[15] = 2.2;
+    h[16] = 6.0;
+    h[17] = 3.0;
+    h[18] = 4.0;
+    h[19] = 6.5;
+    h[20] = 7.5;
+    h[21] = 8.0;
+    h[22] = 12.0;
+    h[23] = 12.0;
+    h[24] = 55.0;
+    return h;
+  }();
+  return histogram;
+}
+
+std::vector<Prefix> generate_rib(const RibConfig& config, Rng& rng) {
+  TC_CHECK(config.rules >= 1, "need at least one rule");
+  TC_CHECK(config.max_length >= 8 && config.max_length <= 32,
+           "max_length must be in [8, 32]");
+
+  // Length sampler restricted to [0, max_length].
+  const auto& histogram = default_length_histogram();
+  std::vector<double> cdf(config.max_length + 1, 0.0);
+  double acc = 0.0;
+  for (std::size_t len = 0; len < cdf.size(); ++len) {
+    acc += histogram[len];
+    cdf[len] = acc;
+  }
+  TC_CHECK(acc > 0.0, "empty length histogram");
+  auto sample_length = [&]() -> std::uint8_t {
+    const double u = rng.uniform01() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::uint8_t>(it - cdf.begin());
+  };
+
+  std::set<Prefix> unique;
+  std::vector<Prefix> rib;
+  rib.reserve(config.rules);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = config.rules * 64 + 4096;
+  while (rib.size() < config.rules) {
+    TC_CHECK(++attempts <= max_attempts,
+             "RIB generation stalled; relax the configuration");
+    Prefix candidate;
+    if (!rib.empty() && rng.chance(config.deaggregation)) {
+      // Deaggregate an existing prefix: extend by 1..8 bits.
+      const Prefix base = rib[rng.below(rib.size())];
+      const auto extra = static_cast<std::uint8_t>(1 + rng.below(8));
+      const std::uint8_t length = std::min<std::uint8_t>(
+          config.max_length, static_cast<std::uint8_t>(base.length + extra));
+      if (length <= base.length) continue;
+      // Random bits exactly in positions (32-length) .. (32-base.length-1).
+      const Address high = (Address{1} << (32 - base.length)) - 1;
+      const Address low = (Address{1} << (32 - length)) - 1;
+      const Address suffix = static_cast<Address>(rng()) & (high & ~low);
+      candidate = Prefix::make(base.bits | suffix, length);
+    } else {
+      const std::uint8_t length = std::max<std::uint8_t>(8, sample_length());
+      candidate = Prefix::make(static_cast<Address>(rng()), length);
+    }
+    if (unique.insert(candidate).second) rib.push_back(candidate);
+  }
+  return rib;
+}
+
+}  // namespace treecache::fib

@@ -1,0 +1,40 @@
+// Synthetic RIB (routing table) generator.
+//
+// SUBSTITUTION (documented in DESIGN.md): the paper motivates the problem
+// with real BGP tables (Route-Views) but runs no experiment on them; no
+// public RIB snapshot ships with this repository. The generator reproduces
+// the two structural properties that matter for tree caching:
+//   * a realistic prefix-length histogram (mass peaked at /24, secondary
+//     mass at /16..: the classic BGP shape), and
+//   * nesting ("deaggregation"): a tunable fraction of prefixes are drawn
+//     as more-specific children of existing prefixes, which is what gives
+//     the rule tree its depth and branching.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fib/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::fib {
+
+struct RibConfig {
+  std::size_t rules = 10000;
+  /// Probability that a new prefix is generated as a more-specific child
+  /// of an already generated prefix (1–8 extra bits).
+  double deaggregation = 0.45;
+  /// Cap on prefix length (real tables rarely carry anything past /24
+  /// globally; set 32 to allow host routes).
+  std::uint8_t max_length = 24;
+};
+
+/// Generates `config.rules` distinct prefixes.
+[[nodiscard]] std::vector<Prefix> generate_rib(const RibConfig& config,
+                                               Rng& rng);
+
+/// The default prefix-length histogram (index = length 0..32, value =
+/// relative mass), modelled on the published shape of global BGP tables.
+[[nodiscard]] const std::vector<double>& default_length_histogram();
+
+}  // namespace treecache::fib

@@ -1,0 +1,52 @@
+#include "fib/router_sim.hpp"
+
+namespace treecache::fib {
+
+RouterSimResult run_router_sim(const RuleTree& rules, OnlineAlgorithm& alg,
+                               const RouterSimConfig& config) {
+  TC_CHECK(&alg.cache().tree() == &rules.tree,
+           "algorithm must run on the rule tree");
+  Rng rng(config.seed);
+  const PacketSampler sampler(rules, config.zipf_skew, rng);
+  RouterSimResult result;
+
+  while (result.packets < config.packets) {
+    if (rng.chance(config.update_probability)) {
+      // A BGP-style update to a Zipf-popular rule. The controller updates
+      // its full table for free; a cached copy on the switch costs α,
+      // modelled as α negative requests (Appendix B).
+      const NodeId rule = sampler.sample_rule(rng);
+      ++result.updates;
+      if (alg.cache().contains(rule)) ++result.cached_updates;
+      for (std::uint64_t i = 0; i < config.alpha; ++i) {
+        alg.step(negative(rule));
+      }
+      continue;
+    }
+
+    const Address addr = sampler.sample_address(rng);
+    const NodeId full_match = rules.lpm(addr);
+    // The switch looks up the packet over its cached rules only.
+    const auto cached_match = rules.trie.lookup_if(
+        addr, [&](RuleId rule) { return alg.cache().contains(rule); });
+    ++result.packets;
+
+    if (cached_match.has_value()) {
+      // A cached rule matched: forwarding is only correct if it is the
+      // same rule the full table would pick.
+      if (*cached_match == full_match) {
+        ++result.hits;
+      } else {
+        ++result.forwarding_errors;
+      }
+    } else {
+      // Only the artificial default rule matched: detour via controller.
+      ++result.misses;
+      alg.step(positive(full_match));
+    }
+  }
+  result.algorithm_cost = alg.cost();
+  return result;
+}
+
+}  // namespace treecache::fib

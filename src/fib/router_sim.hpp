@@ -1,0 +1,54 @@
+// Controller/switch simulation of Figure 1.
+//
+// The switch holds the cached subforest of rules; packets are looked up by
+// LPM over the cached rules only. A miss (no cached rule matches beyond the
+// artificial default) costs 1 — the packet detours via the controller,
+// which then feeds the corresponding positive request to the caching
+// algorithm. Rule updates cost α when the rule is cached (a chunk of α
+// negative requests, Appendix B).
+//
+// The simulation also *proves the model's point* operationally: it checks
+// on every packet that LPM over the cached subforest never resolves to a
+// wrong (less specific) rule — the subforest invariant makes partial FIBs
+// forwarding-correct. Any violation is counted in forwarding_errors (and
+// must be zero).
+#pragma once
+
+#include <cstdint>
+
+#include "core/online_algorithm.hpp"
+#include "fib/traffic.hpp"
+
+namespace treecache::fib {
+
+struct RouterSimConfig {
+  std::size_t packets = 100000;
+  double zipf_skew = 1.0;
+  /// Chance per event that a rule update arrives instead of a packet.
+  double update_probability = 0.0;
+  std::uint64_t alpha = 16;  // must match the algorithm's α
+  std::uint64_t seed = 1;
+};
+
+struct RouterSimResult {
+  std::uint64_t packets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t updates = 0;          // rule-update events
+  std::uint64_t cached_updates = 0;   // updates that hit a cached rule
+  std::uint64_t forwarding_errors = 0;  // MUST stay 0
+  Cost algorithm_cost;
+
+  [[nodiscard]] double miss_rate() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(misses) /
+                              static_cast<double>(packets);
+  }
+};
+
+/// Runs the event loop against `alg` (whose tree must be rules.tree).
+[[nodiscard]] RouterSimResult run_router_sim(const RuleTree& rules,
+                                             OnlineAlgorithm& alg,
+                                             const RouterSimConfig& config);
+
+}  // namespace treecache::fib

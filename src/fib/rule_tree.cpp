@@ -1,0 +1,42 @@
+#include "fib/rule_tree.hpp"
+
+#include <algorithm>
+
+namespace treecache::fib {
+
+RuleTree build_rule_tree(std::vector<Prefix> prefixes) {
+  // Sort by length (parents first), then lexicographically; drop duplicates
+  // and any explicit default route (it is the artificial root).
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const Prefix& a, const Prefix& b) {
+              return a.length != b.length ? a.length < b.length
+                                          : a.bits < b.bits;
+            });
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  std::erase_if(prefixes, [](const Prefix& p) { return p.length == 0; });
+
+  std::vector<Prefix> node_prefix;
+  node_prefix.reserve(prefixes.size() + 1);
+  node_prefix.push_back(Prefix{});  // node 0: 0.0.0.0/0
+
+  std::vector<NodeId> parent;
+  parent.reserve(prefixes.size() + 1);
+  parent.push_back(kNoNode);
+
+  // Because parents are shorter and inserted first, parent_rule() resolves
+  // each prefix's longest proper ancestor among already-inserted rules,
+  // which is its final parent.
+  PrefixTrie trie;
+  TC_CHECK(trie.insert(Prefix{}, 0), "fresh trie must accept the root");
+  for (const Prefix& p : prefixes) {
+    const auto node = static_cast<NodeId>(node_prefix.size());
+    parent.push_back(trie.parent_rule(p).value_or(0));
+    TC_CHECK(trie.insert(p, node), "duplicate prefix after dedupe");
+    node_prefix.push_back(p);
+  }
+  return RuleTree{Tree(std::move(parent)), std::move(node_prefix),
+                  std::move(trie)};
+}
+
+}  // namespace treecache::fib

@@ -1,0 +1,36 @@
+// Rule dependency tree extraction (§2 of the paper).
+//
+// The forwarding rules of a FIB form an implicit tree under prefix
+// inclusion: the parent of a rule is its longest proper ancestor prefix.
+// An artificial default rule 0.0.0.0/0 (node 0) roots the tree; it
+// forwards unmatched packets to the controller (Figure 1). Tree caching
+// runs on exactly this tree: caching a rule requires caching all of its
+// more-specific descendants, which is what makes LPM over the cached
+// subset return correct egress ports.
+#pragma once
+
+#include <vector>
+
+#include "fib/prefix_trie.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache::fib {
+
+struct RuleTree {
+  Tree tree;                   // node 0 = artificial default rule
+  std::vector<Prefix> prefix;  // per tree node
+  PrefixTrie trie;             // LPM over ALL rules → tree node id
+
+  /// Full-table longest-prefix match; node 0 (default rule) if nothing
+  /// more specific matches.
+  [[nodiscard]] NodeId lpm(Address addr) const {
+    return trie.lookup(addr).value_or(0);
+  }
+};
+
+/// Builds the rule tree from a set of prefixes. Duplicates are dropped; a
+/// 0.0.0.0/0 entry, if present, merges into the artificial root. Node ids
+/// are assigned so that parents precede children (sorted by prefix length).
+[[nodiscard]] RuleTree build_rule_tree(std::vector<Prefix> prefixes);
+
+}  // namespace treecache::fib

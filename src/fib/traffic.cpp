@@ -1,0 +1,58 @@
+#include "fib/traffic.hpp"
+
+#include <numeric>
+
+namespace treecache::fib {
+
+PacketSampler::PacketSampler(const RuleTree& rules, double zipf_skew,
+                             Rng& rng)
+    : rules_(&rules),
+      ranked_([&] {
+        // Rank the non-root rules in random order.
+        std::vector<NodeId> ids(rules.tree.size() - 1);
+        std::iota(ids.begin(), ids.end(), NodeId{1});
+        rng.shuffle(ids);
+        return ids;
+      }()),
+      sampler_(std::max<std::size_t>(ranked_.size(), 1), zipf_skew) {
+  TC_CHECK(!ranked_.empty(), "rule tree has only the default rule");
+}
+
+NodeId PacketSampler::sample_rule(Rng& rng) const {
+  return ranked_[sampler_.sample(rng)];
+}
+
+Address PacketSampler::sample_address(Rng& rng) const {
+  const NodeId rule = sample_rule(rng);
+  const Prefix p = rules_->prefix[rule];
+  const Address span_mask =
+      p.length == 32 ? 0 : ((Address{1} << (32 - p.length)) - 1);
+  // A handful of rejection rounds keeps most packets on the sampled rule;
+  // residual hits land on a more specific child, which is fine.
+  Address addr = p.bits | (static_cast<Address>(rng()) & span_mask);
+  for (int tries = 0; tries < 8 && rules_->lpm(addr) != rule; ++tries) {
+    addr = p.bits | (static_cast<Address>(rng()) & span_mask);
+  }
+  return addr;
+}
+
+ChunkedTrace make_fib_workload(const RuleTree& rules,
+                               const FibWorkloadConfig& config, Rng& rng) {
+  TC_CHECK(config.alpha >= 1, "alpha must be positive");
+  const PacketSampler packets(rules, config.zipf_skew, rng);
+  ChunkedTrace out;
+  out.trace.reserve(config.events);
+  for (std::size_t event = 0; event < config.events; ++event) {
+    if (rng.chance(config.update_probability)) {
+      const NodeId rule = packets.sample_rule(rng);
+      const std::size_t begin = out.trace.size();
+      append_repeated(out.trace, negative(rule), config.alpha);
+      out.chunks.emplace_back(begin, out.trace.size());
+    } else {
+      out.trace.push_back(positive(rules.lpm(packets.sample_address(rng))));
+    }
+  }
+  return out;
+}
+
+}  // namespace treecache::fib

@@ -1,0 +1,52 @@
+// Packet and rule-update stream generation for the FIB experiments.
+//
+// Traffic is Zipf-distributed over rules (Sarrar et al., cited in §2);
+// updates follow the Appendix-B model: one BGP update to a rule becomes a
+// chunk of α negative requests to its tree node.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+#include "fib/rule_tree.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace treecache::fib {
+
+/// Zipf popularity over rules, with addresses drawn inside the chosen
+/// rule's prefix.
+class PacketSampler {
+ public:
+  /// Popularity ranks are a random permutation of the non-root rules.
+  PacketSampler(const RuleTree& rules, double zipf_skew, Rng& rng);
+
+  /// Draws the tree node a packet's full-table LPM resolves to.
+  [[nodiscard]] NodeId sample_rule(Rng& rng) const;
+
+  /// Draws an address whose LPM is (usually) the sampled rule; if the
+  /// rule's children cover the sampled address, the packet simply belongs
+  /// to the more specific rule — realistic either way.
+  [[nodiscard]] Address sample_address(Rng& rng) const;
+
+ private:
+  const RuleTree* rules_;
+  std::vector<NodeId> ranked_;
+  ZipfSampler sampler_;
+};
+
+struct FibWorkloadConfig {
+  std::size_t events = 100000;        // packets + update chunks
+  double zipf_skew = 1.0;
+  double update_probability = 0.01;   // chance an event is a rule update
+  std::uint64_t alpha = 16;           // chunk length per update
+};
+
+/// Packets become positive requests to their full-table LPM node; updates
+/// become α-chunks of negative requests to a Zipf-popular rule. Chunk
+/// boundaries are recorded for the Appendix-B canonicalization experiment.
+[[nodiscard]] ChunkedTrace make_fib_workload(const RuleTree& rules,
+                                             const FibWorkloadConfig& config,
+                                             Rng& rng);
+
+}  // namespace treecache::fib

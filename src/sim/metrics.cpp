@@ -1,0 +1,63 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace treecache::sim {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  s.p95 = samples[static_cast<std::size_t>(
+      static_cast<double>(samples.size() - 1) * 0.95)];
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (const double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  TC_CHECK(x.size() == y.size() && x.size() >= 2,
+           "need matching samples, at least two");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  TC_CHECK(denom != 0.0, "degenerate x values");
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace treecache::sim

@@ -1,0 +1,31 @@
+// Summary statistics for repeated measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace treecache::sim {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes the summary of a sample (empty input gives an all-zero summary).
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+/// Ordinary least squares y ≈ slope·x + intercept; also reports R².
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace treecache::sim

@@ -1,0 +1,29 @@
+#include "sim/reporting.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace treecache::sim {
+
+void print_experiment_banner(std::string_view id, std::string_view title,
+                             std::string_view paper_claim) {
+  std::string line = "== ";
+  line.append(id);
+  line.append(": ");
+  line.append(title);
+  line.append(" ==");
+  std::printf("\n%s\n", line.c_str());
+  if (!paper_claim.empty()) {
+    std::printf("claim: %.*s\n", static_cast<int>(paper_claim.size()),
+                paper_claim.data());
+  }
+  std::fflush(stdout);
+}
+
+void print_note(std::string_view label, std::string_view value) {
+  std::printf("  %.*s: %.*s\n", static_cast<int>(label.size()), label.data(),
+              static_cast<int>(value.size()), value.data());
+  std::fflush(stdout);
+}
+
+}  // namespace treecache::sim

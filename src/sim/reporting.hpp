@@ -1,0 +1,18 @@
+// Standardized bench output: every experiment prints a banner naming the
+// paper artifact it reproduces, the claim, and then its table(s).
+#pragma once
+
+#include <string_view>
+
+namespace treecache::sim {
+
+/// Prints a framed banner:
+///   == E3: Theorem 6.1 — per-request work ==
+///   claim: <one line from the paper>
+void print_experiment_banner(std::string_view id, std::string_view title,
+                             std::string_view paper_claim);
+
+/// Prints a short labelled key-value line ("  <label>: <value>").
+void print_note(std::string_view label, std::string_view value);
+
+}  // namespace treecache::sim

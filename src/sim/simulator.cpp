@@ -1,0 +1,48 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace treecache::sim {
+
+RunResult run_trace(OnlineAlgorithm& alg, std::span<const Request> trace,
+                    const StepObserver& observer, bool validate_every_step) {
+  RunResult result;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const StepOutcome out = alg.step(trace[i]);
+    ++result.rounds;
+    if (out.paid) {
+      ++result.paid_requests;
+      if (trace[i].sign == Sign::kPositive) {
+        ++result.paid_positive;
+      } else {
+        ++result.paid_negative;
+      }
+    }
+    result.evicted_nodes += out.also_evicted.size();
+    switch (out.change) {
+      case ChangeKind::kNone:
+        break;
+      case ChangeKind::kFetch:
+        result.fetched_nodes += out.changed.size();
+        break;
+      case ChangeKind::kEvict:
+        result.evicted_nodes += out.changed.size();
+        break;
+      case ChangeKind::kPhaseRestart:
+        ++result.phase_restarts;
+        result.restart_evictions += out.changed.size();
+        break;
+    }
+    result.max_cache_size = std::max(result.max_cache_size,
+                                     alg.cache().size());
+    if (validate_every_step) {
+      TC_CHECK(alg.cache().is_valid(), "cache stopped being a subforest");
+    }
+    if (observer) observer(i + 1, trace[i], out);
+  }
+  result.cost = alg.cost();
+  result.final_cache_size = alg.cache().size();
+  return result;
+}
+
+}  // namespace treecache::sim

@@ -1,0 +1,38 @@
+// Trace-driven simulation of any OnlineAlgorithm with aggregate statistics.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/online_algorithm.hpp"
+#include "core/trace.hpp"
+
+namespace treecache::sim {
+
+struct RunResult {
+  Cost cost;
+  std::uint64_t rounds = 0;
+  std::uint64_t paid_requests = 0;
+  std::uint64_t paid_positive = 0;  // positive requests that cost 1 (misses)
+  std::uint64_t paid_negative = 0;  // negative requests that cost 1
+  std::uint64_t fetched_nodes = 0;
+  std::uint64_t evicted_nodes = 0;   // via negative changesets
+  std::uint64_t phase_restarts = 0;
+  std::uint64_t restart_evictions = 0;  // nodes evicted by restarts
+  std::size_t max_cache_size = 0;
+  std::size_t final_cache_size = 0;
+};
+
+/// Called after every round with (1-based round, request, outcome).
+using StepObserver =
+    std::function<void(std::size_t, Request, const StepOutcome&)>;
+
+/// Runs the trace from the algorithm's current state. When
+/// `validate_every_step` is set, the cache is checked to be a subforest
+/// after every round (O(n) per round — test-sized traces only).
+[[nodiscard]] RunResult run_trace(OnlineAlgorithm& alg,
+                                  std::span<const Request> trace,
+                                  const StepObserver& observer = {},
+                                  bool validate_every_step = false);
+
+}  // namespace treecache::sim

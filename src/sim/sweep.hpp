@@ -1,0 +1,44 @@
+// Parallel parameter sweeps for the benchmark harness.
+//
+// Each sweep point is an independent simulation; points are distributed
+// across cores with OpenMP (see util/parallel.hpp) and each derives its own
+// RNG stream, so results are deterministic regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::sim {
+
+/// Runs body(i, rng) for every index with an independent deterministic RNG
+/// per point, in parallel, collecting the results in order.
+template <typename Result, typename Body>
+std::vector<Result> parallel_sweep(std::size_t points, std::uint64_t seed,
+                                   Body&& body) {
+  // Pre-derive one seed per point so the assignment of RNG streams to
+  // points does not depend on scheduling.
+  std::vector<std::uint64_t> seeds(points);
+  Rng seeder(seed);
+  for (auto& s : seeds) s = seeder();
+  std::vector<Result> results(points);
+  parallel_for(points, [&](std::size_t i) {
+    Rng rng(seeds[i]);
+    results[i] = body(i, rng);
+  });
+  return results;
+}
+
+/// Repeats a measurement `reps` times with independent RNGs and returns the
+/// samples in order (convenience over parallel_sweep for scalar outputs).
+template <typename Body>
+std::vector<double> repeat_measure(std::size_t reps, std::uint64_t seed,
+                                   Body&& body) {
+  return parallel_sweep<double>(reps, seed, [&](std::size_t i, Rng& rng) {
+    return body(i, rng);
+  });
+}
+
+}  // namespace treecache::sim

@@ -1,0 +1,120 @@
+#include "tree/subforest.hpp"
+
+#include <algorithm>
+
+namespace treecache {
+
+void Subforest::insert(NodeId v) {
+  TC_DCHECK(!contains(v), "node already cached");
+#ifndef NDEBUG
+  for (const NodeId c : tree_->children(v)) {
+    TC_DCHECK(contains(c), "insert would break descendant-closure");
+  }
+#endif
+  cached_[v] = 1;
+  ++size_;
+}
+
+void Subforest::erase(NodeId v) {
+  TC_DCHECK(contains(v), "node not cached");
+#ifndef NDEBUG
+  const NodeId p = tree_->parent(v);
+  TC_DCHECK(p == kNoNode || !contains(p),
+            "erase would break descendant-closure");
+#endif
+  cached_[v] = 0;
+  --size_;
+}
+
+bool Subforest::is_valid() const {
+  for (NodeId v = 0; v < tree_->size(); ++v) {
+    if (!contains(v)) continue;
+    for (const NodeId c : tree_->children(v)) {
+      if (!contains(c)) return false;
+    }
+  }
+  return true;
+}
+
+bool Subforest::is_valid_positive_changeset(
+    std::span<const NodeId> changeset) const {
+  if (changeset.empty()) return false;
+  std::vector<std::uint8_t> added(tree_->size(), 0);
+  for (const NodeId v : changeset) {
+    if (v >= tree_->size()) return false;
+    if (contains(v)) return false;   // must be disjoint from the cache
+    if (added[v]) return false;      // no duplicates
+    added[v] = 1;
+  }
+  for (const NodeId v : changeset) {
+    for (const NodeId c : tree_->children(v)) {
+      if (!contains(c) && !added[c]) return false;
+    }
+  }
+  return true;
+}
+
+bool Subforest::is_valid_negative_changeset(
+    std::span<const NodeId> changeset) const {
+  if (changeset.empty()) return false;
+  std::vector<std::uint8_t> removed(tree_->size(), 0);
+  for (const NodeId v : changeset) {
+    if (v >= tree_->size()) return false;
+    if (!contains(v)) return false;  // must be inside the cache
+    if (removed[v]) return false;    // no duplicates
+    removed[v] = 1;
+  }
+  // cache \ X descendant-closed ⇔ X ancestor-closed within the cache:
+  // an evicted node's cached parent must be evicted too.
+  for (const NodeId v : changeset) {
+    const NodeId p = tree_->parent(v);
+    if (p != kNoNode && contains(p) && !removed[p]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Subforest::maximal_roots() const {
+  std::vector<NodeId> roots;
+  for (NodeId v = 0; v < tree_->size(); ++v) {
+    if (!contains(v)) continue;
+    const NodeId p = tree_->parent(v);
+    if (p == kNoNode || !contains(p)) roots.push_back(v);
+  }
+  return roots;
+}
+
+NodeId Subforest::cached_tree_root(NodeId v) const {
+  TC_CHECK(contains(v), "node not cached");
+  NodeId u = v;
+  for (NodeId p = tree_->parent(u); p != kNoNode && contains(p);
+       p = tree_->parent(u)) {
+    u = p;
+  }
+  return u;
+}
+
+std::vector<NodeId> Subforest::missing_subtree(NodeId u) const {
+  TC_CHECK(!contains(u), "P_t(u) is defined for non-cached u only");
+  std::vector<NodeId> result;
+  std::vector<NodeId> stack{u};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    result.push_back(v);
+    for (const NodeId c : tree_->children(v)) {
+      if (!contains(c)) stack.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> Subforest::as_vector() const {
+  std::vector<NodeId> out;
+  out.reserve(size_);
+  for (NodeId v = 0; v < tree_->size(); ++v) {
+    if (contains(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace treecache

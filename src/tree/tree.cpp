@@ -1,0 +1,102 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+
+namespace treecache {
+
+Tree::Tree(std::vector<NodeId> parent) : parent_(std::move(parent)) {
+  const std::size_t n = parent_.size();
+  TC_CHECK(n > 0, "tree must have at least one node");
+  TC_CHECK(n < kNoNode, "tree too large for NodeId");
+
+  // Locate the unique root and validate parent ids.
+  root_ = kNoNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[v] == kNoNode) {
+      TC_CHECK(root_ == kNoNode, "more than one root");
+      root_ = v;
+    } else {
+      TC_CHECK(parent_[v] < n, "parent id out of range");
+      TC_CHECK(parent_[v] != v, "node is its own parent");
+    }
+  }
+  TC_CHECK(root_ != kNoNode, "no root (every node has a parent)");
+
+  // CSR children adjacency via counting sort.
+  child_offset_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root_) ++child_offset_[parent_[v] + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) child_offset_[i] += child_offset_[i - 1];
+  child_list_.resize(n - 1);
+  {
+    std::vector<std::size_t> cursor(child_offset_.begin(),
+                                    child_offset_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != root_) child_list_[cursor[parent_[v]]++] = v;
+    }
+  }
+
+  max_degree_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_degree_ =
+        std::max(max_degree_, static_cast<std::uint32_t>(num_children(v)));
+  }
+
+  // Iterative preorder DFS: fills depth, tin/tout, preorder, and detects
+  // cycles (a cycle leaves nodes unvisited).
+  depth_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  preorder_.clear();
+  preorder_.reserve(n);
+  std::vector<NodeId> stack;
+  stack.push_back(root_);
+  std::uint32_t timer = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    tin_[v] = timer++;
+    preorder_.push_back(v);
+    const auto kids = children(v);
+    // Push in reverse so children are visited in construction order.
+    for (std::size_t i = kids.size(); i > 0; --i) {
+      const NodeId c = kids[i - 1];
+      depth_[c] = depth_[v] + 1;
+      stack.push_back(c);
+    }
+  }
+  TC_CHECK(preorder_.size() == n, "parent array contains a cycle");
+
+  // Reverse preorder lists every node after all of its descendants, which is
+  // the only property consumers of postorder() rely on (bottom-up
+  // aggregation); subtrees need not be contiguous.
+  postorder_.assign(preorder_.rbegin(), preorder_.rend());
+
+  // Subtree sizes and tout via reverse-preorder aggregation.
+  subtree_size_.assign(n, 1);
+  for (const NodeId v : postorder_) {
+    if (v != root_) subtree_size_[parent_[v]] += subtree_size_[v];
+  }
+  for (NodeId v = 0; v < n; ++v) tout_[v] = tin_[v] + subtree_size_[v] - 1;
+
+  height_ = 0;
+  for (NodeId v = 0; v < n; ++v) height_ = std::max(height_, depth_[v] + 1);
+}
+
+std::vector<NodeId> Tree::leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (is_leaf(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Tree::path_to_root(NodeId v) const {
+  TC_CHECK(v < size(), "node out of range");
+  std::vector<NodeId> path;
+  for (NodeId u = v; u != kNoNode; u = parent_[u]) path.push_back(u);
+  return path;
+}
+
+}  // namespace treecache

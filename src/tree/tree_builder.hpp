@@ -1,0 +1,52 @@
+// Tree generators for tests, examples and benchmarks.
+//
+// Every generator returns a Tree whose root is node 0. Shapes cover the
+// regimes that matter for the algorithm's guarantees: height h(T) (path,
+// caterpillar, spider), degree deg(T) (star, k-ary), and realistic mixtures
+// (random recursive/attachment trees, the Appendix-D gadget shape).
+#pragma once
+
+#include <cstddef>
+
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::trees {
+
+/// A path (line) of n nodes: 0 - 1 - ... - n-1, rooted at 0. Height n.
+[[nodiscard]] Tree path(std::size_t n);
+
+/// Root with `leaf_count` leaf children. Height 2, degree leaf_count.
+[[nodiscard]] Tree star(std::size_t leaf_count);
+
+/// Complete `arity`-ary tree with `levels` levels (height == levels).
+[[nodiscard]] Tree complete_kary(std::size_t levels, std::size_t arity);
+
+/// Path of `spine` nodes, each spine node carrying `legs` leaf children.
+[[nodiscard]] Tree caterpillar(std::size_t spine, std::size_t legs);
+
+/// Root with `legs` disjoint paths of `leg_length` nodes hanging below it.
+[[nodiscard]] Tree spider(std::size_t legs, std::size_t leg_length);
+
+/// Random recursive tree: node i attaches to a uniform node < i.
+/// Expected height Θ(log n), unbounded degree.
+[[nodiscard]] Tree random_recursive(std::size_t n, Rng& rng);
+
+/// Random tree where each node may receive at most `max_children` children;
+/// node i attaches to a uniform non-full node < i. With max_children == 2
+/// this produces random binary trees.
+[[nodiscard]] Tree random_bounded_degree(std::size_t n,
+                                         std::size_t max_children, Rng& rng);
+
+/// Random tree with height capped at `max_height` levels: node i attaches to
+/// a uniform existing node of depth < max_height - 1.
+[[nodiscard]] Tree random_bounded_height(std::size_t n,
+                                         std::size_t max_height, Rng& rng);
+
+/// The Appendix-D gadget shape: root r with two identical subtrees T1, T2.
+/// Each subtree is a complete binary tree with `leaf_count` leaves (so each
+/// has size 2*leaf_count - 1). Returns the tree; T1's root is node 1 and
+/// T2's root is node 2*leaf_count (see gadget.hpp for the request script).
+[[nodiscard]] Tree two_subtree_gadget(std::size_t leaf_count);
+
+}  // namespace treecache::trees

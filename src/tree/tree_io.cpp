@@ -1,0 +1,86 @@
+#include "tree/tree_io.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace treecache {
+
+std::string to_parent_string(const Tree& tree) {
+  std::ostringstream os;
+  const auto& parents = tree.parent_array();
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    if (i > 0) os << ' ';
+    if (parents[i] == kNoNode) {
+      os << -1;
+    } else {
+      os << parents[i];
+    }
+  }
+  return os.str();
+}
+
+Tree from_parent_string(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<NodeId> parents;
+  long long value = 0;
+  while (is >> value) {
+    TC_CHECK(value >= -1, "parent ids must be >= -1");
+    parents.push_back(value == -1 ? kNoNode : static_cast<NodeId>(value));
+  }
+  TC_CHECK(is.eof(), "trailing garbage in parent string");
+  TC_CHECK(!parents.empty(), "empty parent string");
+  return Tree(std::move(parents));
+}
+
+namespace {
+void render_ascii(const Tree& tree, NodeId v, const std::string& indent,
+                  bool last, const NodeAnnotator& annotate,
+                  std::ostringstream& os) {
+  if (v == tree.root()) {
+    os << v;
+  } else {
+    os << indent << (last ? "└─ " : "├─ ") << v;
+  }
+  if (annotate) {
+    const std::string note = annotate(v);
+    if (!note.empty()) os << ' ' << note;
+  }
+  os << '\n';
+  const auto kids = tree.children(v);
+  const std::string child_indent =
+      (v == tree.root()) ? std::string{}
+                         : indent + (last ? "   " : "│  ");
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    render_ascii(tree, kids[i], child_indent, i + 1 == kids.size(), annotate,
+                 os);
+  }
+}
+}  // namespace
+
+std::string to_ascii(const Tree& tree, const NodeAnnotator& annotate) {
+  std::ostringstream os;
+  render_ascii(tree, tree.root(), "", true, annotate, os);
+  return os.str();
+}
+
+std::string to_dot(const Tree& tree, const NodeAnnotator& annotate) {
+  std::ostringstream os;
+  os << "digraph T {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    os << "  n" << v << " [label=\"" << v;
+    if (annotate) {
+      const std::string note = annotate(v);
+      if (!note.empty()) os << "\\n" << note;
+    }
+    os << "\"];\n";
+  }
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (tree.parent(v) != kNoNode) {
+      os << "  n" << tree.parent(v) << " -> n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treecache

@@ -1,0 +1,34 @@
+// Tree serialization and pretty-printing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+/// Serializes a tree to a whitespace-separated parent list, e.g. "-1 0 0 1".
+/// The root's parent is written as -1.
+[[nodiscard]] std::string to_parent_string(const Tree& tree);
+
+/// Parses the format produced by to_parent_string. Throws CheckFailure on
+/// malformed input.
+[[nodiscard]] Tree from_parent_string(const std::string& text);
+
+/// Optional per-node annotation for renderers (e.g. "[cached, cnt=3]").
+using NodeAnnotator = std::function<std::string(NodeId)>;
+
+/// ASCII rendering with box-drawing indentation, one node per line:
+///   0
+///   ├─ 1
+///   │  └─ 3
+///   └─ 2
+[[nodiscard]] std::string to_ascii(const Tree& tree,
+                                   const NodeAnnotator& annotate = {});
+
+/// Graphviz DOT rendering (for documentation figures).
+[[nodiscard]] std::string to_dot(const Tree& tree,
+                                 const NodeAnnotator& annotate = {});
+
+}  // namespace treecache

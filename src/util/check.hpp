@@ -1,0 +1,47 @@
+// Lightweight contract checking used across the library.
+//
+// TC_CHECK(cond, msg)  — always-on precondition/invariant check; throws
+//                        treecache::CheckFailure on violation so tests can
+//                        assert on misuse without aborting the process.
+// TC_DCHECK(cond, msg) — debug-only (NDEBUG disables) internal invariant
+//                        check for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treecache {
+
+/// Exception thrown when a TC_CHECK contract is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace treecache
+
+#define TC_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::treecache::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define TC_DCHECK(cond, msg) \
+  do {                       \
+  } while (false)
+#else
+#define TC_DCHECK(cond, msg) TC_CHECK(cond, msg)
+#endif

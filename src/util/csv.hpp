@@ -1,0 +1,28 @@
+// Minimal CSV writer so bench output can be post-processed (plotting etc.).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace treecache {
+
+/// Writes rows to a CSV file; cells containing separators/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace treecache

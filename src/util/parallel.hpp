@@ -1,0 +1,57 @@
+// OpenMP-backed data-parallel helpers with a transparent serial fallback.
+//
+// Parameter sweeps in the bench harness run thousands of independent
+// simulations; parallel_for distributes them across cores. Tasks must be
+// independent — each receives its own index and should derive per-task RNG
+// streams (Rng::split) rather than sharing one generator.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <mutex>
+
+#ifdef TREECACHE_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace treecache {
+
+/// Number of hardware worker threads the parallel helpers will use.
+inline int parallel_workers() {
+#ifdef TREECACHE_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs body(i) for i in [0, n), in parallel when OpenMP is available.
+/// The first exception thrown by any task is rethrown on the caller thread
+/// after all tasks complete.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  std::exception_ptr error;
+  std::mutex error_mutex;
+#ifdef TREECACHE_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    try {
+      body(static_cast<std::size_t>(i));
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+#endif
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace treecache

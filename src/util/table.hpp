@@ -1,0 +1,39 @@
+// Console table rendering for bench output.
+//
+// Benches print the rows a paper table/figure would contain; ConsoleTable
+// right-aligns numeric columns and keeps the output grep-friendly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treecache {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::uint64_t value);
+  static std::string fmt(std::int64_t value);
+
+  /// Renders the table (header, separator, rows) as a single string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treecache

@@ -1,0 +1,56 @@
+#include "workload/adversary.hpp"
+
+namespace treecache::workload {
+
+Trace lift_paging_sequence(const std::vector<PageId>& pages,
+                           std::uint64_t alpha) {
+  Trace trace;
+  trace.reserve(pages.size() * alpha);
+  for (const PageId p : pages) {
+    append_repeated(trace, positive(static_cast<NodeId>(p + 1)), alpha);
+  }
+  return trace;
+}
+
+Trace run_paging_adversary(OnlineAlgorithm& alg, const Tree& star,
+                           std::uint64_t alpha, std::size_t chunks) {
+  TC_CHECK(star.num_children(star.root()) == star.size() - 1,
+           "adversary needs a star tree");
+  Trace trace;
+  trace.reserve(chunks * alpha);
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    // The lowest-id leaf outside the cache (leaves are 1..n-1).
+    NodeId victim = kNoNode;
+    for (NodeId leaf = 1; leaf < star.size(); ++leaf) {
+      if (!alg.cache().contains(leaf)) {
+        victim = leaf;
+        break;
+      }
+    }
+    TC_CHECK(victim != kNoNode,
+             "cache covers all leaves: give the adversary more pages");
+    for (std::uint64_t i = 0; i < alpha; ++i) {
+      trace.push_back(positive(victim));
+      alg.step(trace.back());
+    }
+  }
+  return trace;
+}
+
+std::vector<PageId> chunk_pages(const Trace& trace, std::uint64_t alpha) {
+  TC_CHECK(alpha >= 1, "alpha must be positive");
+  TC_CHECK(trace.size() % alpha == 0, "trace is not chunk-aligned");
+  std::vector<PageId> pages;
+  pages.reserve(trace.size() / alpha);
+  for (std::size_t i = 0; i < trace.size(); i += alpha) {
+    TC_CHECK(trace[i].sign == Sign::kPositive && trace[i].node >= 1,
+             "not a lifted paging trace");
+    for (std::size_t j = 1; j < alpha; ++j) {
+      TC_CHECK(trace[i + j] == trace[i], "chunk is not uniform");
+    }
+    pages.push_back(trace[i].node - 1);
+  }
+  return pages;
+}
+
+}  // namespace treecache::workload

@@ -1,0 +1,42 @@
+// Adversarial instances from the Appendix C lower bound (Theorem C.1).
+//
+// The reduction maps paging over N pages to tree caching on a star whose
+// leaves are the pages: one paging request becomes a chunk of α positive
+// requests to the corresponding leaf. The adaptive adversary below always
+// requests a page absent from the online algorithm's cache — against any
+// deterministic algorithm with cache k_ONL over k_ONL + 1 pages this forces
+// the Sleator–Tarjan Ω(k_ONL/(k_ONL − k_OPT + 1)) ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/paging.hpp"
+#include "core/online_algorithm.hpp"
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache::workload {
+
+/// Lifts a paging request sequence over pages 0..universe-1 to a tree
+/// caching trace on a star: page p → α positive requests to leaf p + 1.
+/// The star tree must come from trees::star(universe).
+[[nodiscard]] Trace lift_paging_sequence(const std::vector<PageId>& pages,
+                                         std::uint64_t alpha);
+
+/// Runs the adaptive adversary against `alg` for `chunks` page requests:
+/// each chunk requests the lowest-id leaf currently absent from the
+/// algorithm's cache, as α positive requests fed one by one. The star tree
+/// must have strictly more leaves than the algorithm can cache. Returns the
+/// generated trace (the algorithm has been advanced; read alg.cost()).
+[[nodiscard]] Trace run_paging_adversary(OnlineAlgorithm& alg,
+                                         const Tree& star,
+                                         std::uint64_t alpha,
+                                         std::size_t chunks);
+
+/// Extracts the per-chunk page sequence back out of a lifted trace
+/// (inverse of lift_paging_sequence; used to feed Belady/OPT).
+[[nodiscard]] std::vector<PageId> chunk_pages(const Trace& trace,
+                                              std::uint64_t alpha);
+
+}  // namespace treecache::workload

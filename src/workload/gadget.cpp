@@ -1,0 +1,109 @@
+#include "workload/gadget.hpp"
+
+#include <algorithm>
+
+#include "tree/tree_builder.hpp"
+
+namespace treecache::workload {
+
+GadgetScript build_appendix_d_gadget(std::size_t leaf_count,
+                                     std::uint64_t alpha) {
+  TC_CHECK(leaf_count >= 2, "gadget needs at least 2 leaves per subtree");
+  TC_CHECK(alpha >= 2, "gadget needs alpha >= 2");
+
+  GadgetScript script{.tree = trees::two_subtree_gadget(leaf_count),
+                      .trace = {},
+                      .alpha = alpha,
+                      .subtree_size = 0,
+                      .leaf_count = leaf_count,
+                      .t1_nodes = {},
+                      .t2_nodes = {},
+                      .expectations = {}};
+  script.leaf_count = leaf_count;
+  const std::size_t s = 2 * leaf_count - 1;
+  script.subtree_size = s;
+  const Tree& tree = script.tree;
+
+  for (NodeId v = 1; v <= s; ++v) script.t1_nodes.push_back(v);
+  for (NodeId v = static_cast<NodeId>(s + 1); v < tree.size(); ++v) {
+    script.t2_nodes.push_back(v);
+  }
+
+  Trace& trace = script.trace;
+  auto expect = [&](ChangeKind kind, std::vector<NodeId> nodes) {
+    std::sort(nodes.begin(), nodes.end());
+    script.expectations.push_back(
+        GadgetExpectation{trace.size(), kind, std::move(nodes)});
+  };
+
+  // Stage 0 (fill): fetch the tree node by node, children before parents.
+  for (const NodeId v : tree.postorder()) {
+    append_repeated(trace, positive(v), alpha);
+    expect(ChangeKind::kFetch, {v});
+  }
+
+  // Stage 1: alpha negatives on every T1 node, then on the root
+  //   → evict the tree cap {r} ∪ T1.
+  for (const NodeId v : script.t1_nodes) {
+    append_repeated(trace, negative(v), alpha);
+  }
+  append_repeated(trace, negative(tree.root()), alpha);
+  {
+    std::vector<NodeId> cap = script.t1_nodes;
+    cap.push_back(tree.root());
+    expect(ChangeKind::kEvict, std::move(cap));
+  }
+
+  // Stage 2: (s+1)·alpha − ℓ positives at the root; no cache change.
+  append_repeated(trace, positive(tree.root()), (s + 1) * alpha - leaf_count);
+
+  // Stage 3: alpha negatives on every T2 node, subtree root last
+  //   → evict T2.
+  for (auto it = script.t2_nodes.rbegin(); it != script.t2_nodes.rend();
+       ++it) {
+    append_repeated(trace, negative(*it), alpha);
+  }
+  expect(ChangeKind::kEvict, script.t2_nodes);
+
+  // Stage 4: s·alpha − 1 positives at T1's root; still no fetch (see the
+  // header note about the off-by-one versus the paper's informal text).
+  append_repeated(trace, positive(1), s * alpha - 1);
+
+  // Stage 5: ℓ + 1 positives at the root → fetch the whole tree at once.
+  append_repeated(trace, positive(tree.root()), leaf_count + 1);
+  {
+    std::vector<NodeId> everything(tree.size());
+    for (NodeId v = 0; v < tree.size(); ++v) everything[v] = v;
+    expect(ChangeKind::kFetch, std::move(everything));
+  }
+  return script;
+}
+
+Cost replay_gadget(const GadgetScript& script, OnlineAlgorithm& alg) {
+  std::size_t next_expectation = 0;
+  for (std::size_t round = 1; round <= script.trace.size(); ++round) {
+    const StepOutcome out = alg.step(script.trace[round - 1]);
+    const bool expected_here =
+        next_expectation < script.expectations.size() &&
+        script.expectations[next_expectation].round == round;
+    if (expected_here) {
+      const GadgetExpectation& e = script.expectations[next_expectation];
+      TC_CHECK(out.change == e.kind,
+               "gadget: wrong change kind at round " + std::to_string(round));
+      std::vector<NodeId> got(out.changed.begin(), out.changed.end());
+      std::sort(got.begin(), got.end());
+      TC_CHECK(got == e.nodes,
+               "gadget: wrong changeset at round " + std::to_string(round));
+      ++next_expectation;
+    } else {
+      TC_CHECK(out.change == ChangeKind::kNone,
+               "gadget: unexpected cache change at round " +
+                   std::to_string(round));
+    }
+  }
+  TC_CHECK(next_expectation == script.expectations.size(),
+           "gadget: missing expected cache changes");
+  return alg.cost();
+}
+
+}  // namespace treecache::workload

@@ -1,0 +1,63 @@
+// The Appendix D construction: a positive field whose requests provably
+// cannot be spread evenly (the "troublesome example" of Figure 4).
+//
+// The tree is a root r with two full binary subtrees T1 and T2 of size s
+// (ℓ leaves each). The request script reproduces the paper's five stages:
+//
+//   0. fill: the whole tree is fetched node by node (α positives each);
+//   1. α negative requests to every node of T1, then to r
+//        → TC evicts the tree cap {r} ∪ T1;
+//   2. (s+1)·α − ℓ positive requests at r (not enough to refetch);
+//   3. α negative requests to every node of T2 (root last)
+//        → TC evicts T2;
+//   4. s·α − 1 positive requests at the root of T1 (no fetch triggers);
+//   5. ℓ + 1 positive requests at r → TC fetches the ENTIRE tree, closing
+//      one positive field that covers all 2s+1 nodes.
+//
+// Note on stages 4/5: the paper's informal text gives s·α and ℓ requests;
+// under the exact saturation rule cnt(X) ≥ |X|·α that would saturate
+// P(T1root) = T1 at the end of stage 4 and fetch T1 early. We shift one
+// request from stage 4 to stage 5, which preserves the construction's
+// point: all but the last ℓ+1 requests of the final field sit on nodes of
+// {r} ∪ T1, so legal down-shifting can deliver α/2 requests to at most
+// about half of the field's nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/online_algorithm.hpp"
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache::workload {
+
+struct GadgetExpectation {
+  std::size_t round = 0;  // 1-based round at which the change must happen
+  ChangeKind kind = ChangeKind::kNone;
+  std::vector<NodeId> nodes;  // sorted changeset
+};
+
+struct GadgetScript {
+  Tree tree;
+  Trace trace;
+  std::uint64_t alpha = 0;
+  std::size_t subtree_size = 0;  // s
+  std::size_t leaf_count = 0;    // ℓ
+  std::vector<NodeId> t1_nodes;  // sorted
+  std::vector<NodeId> t2_nodes;  // sorted
+  /// Cache-change expectations in round order; the last one is the final
+  /// whole-tree fetch.
+  std::vector<GadgetExpectation> expectations;
+};
+
+/// Builds the tree, the full request script and the expected TC behaviour.
+/// Requires leaf_count >= 2 and alpha >= 2.
+[[nodiscard]] GadgetScript build_appendix_d_gadget(std::size_t leaf_count,
+                                                   std::uint64_t alpha);
+
+/// Replays the script through `alg` and verifies every expectation (throws
+/// CheckFailure on mismatch). Returns the algorithm's total cost.
+Cost replay_gadget(const GadgetScript& script, OnlineAlgorithm& alg);
+
+}  // namespace treecache::workload

@@ -1,0 +1,112 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/zipf.hpp"
+
+namespace treecache::workload {
+
+namespace {
+Sign draw_sign(double negative_fraction, Rng& rng) {
+  return rng.chance(negative_fraction) ? Sign::kNegative : Sign::kPositive;
+}
+
+/// Random node-per-rank assignment for Zipf popularity.
+std::vector<NodeId> random_rank_assignment(std::span<const NodeId> nodes,
+                                           Rng& rng) {
+  std::vector<NodeId> ranked(nodes.begin(), nodes.end());
+  rng.shuffle(ranked);
+  return ranked;
+}
+}  // namespace
+
+Trace uniform_trace(const Tree& tree, std::size_t length,
+                    double negative_fraction, Rng& rng) {
+  Trace trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    trace.push_back(Request{static_cast<NodeId>(rng.below(tree.size())),
+                            draw_sign(negative_fraction, rng)});
+  }
+  return trace;
+}
+
+Trace zipf_trace(const Tree& tree, std::size_t length, double skew,
+                 double negative_fraction, Rng& rng) {
+  std::vector<NodeId> all(tree.size());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  const auto ranked = random_rank_assignment(all, rng);
+  const ZipfSampler sampler(ranked.size(), skew);
+  Trace trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    trace.push_back(Request{ranked[sampler.sample(rng)],
+                            draw_sign(negative_fraction, rng)});
+  }
+  return trace;
+}
+
+Trace zipf_leaf_trace(const Tree& tree, std::size_t length, double skew,
+                      double negative_fraction, Rng& rng) {
+  const auto leaves = tree.leaves();
+  const auto ranked = random_rank_assignment(leaves, rng);
+  const ZipfSampler sampler(ranked.size(), skew);
+  Trace trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    trace.push_back(Request{ranked[sampler.sample(rng)],
+                            draw_sign(negative_fraction, rng)});
+  }
+  return trace;
+}
+
+Trace hotspot_trace(const Tree& tree, std::size_t length,
+                    double move_probability, double negative_fraction,
+                    Rng& rng) {
+  Trace trace;
+  trace.reserve(length);
+  auto hot = static_cast<NodeId>(rng.below(tree.size()));
+  for (std::size_t i = 0; i < length; ++i) {
+    if (rng.chance(move_probability)) {
+      hot = static_cast<NodeId>(rng.below(tree.size()));
+    }
+    // Request a node near the hotspot: a uniform node of T(hot) (by
+    // rejection from the preorder interval) or an ancestor occasionally.
+    NodeId v = hot;
+    if (tree.subtree_size(hot) > 1 && rng.chance(0.7)) {
+      // T(hot) occupies a contiguous preorder interval starting at hot.
+      const auto pre = tree.preorder();
+      v = pre[tree.preorder_index(hot) + rng.below(tree.subtree_size(hot))];
+    } else if (rng.chance(0.3)) {
+      const auto path = tree.path_to_root(hot);
+      v = path[rng.below(path.size())];
+    }
+    trace.push_back(Request{v, draw_sign(negative_fraction, rng)});
+  }
+  return trace;
+}
+
+Trace update_churn_trace(const Tree& tree, std::size_t length, double skew,
+                         std::uint64_t alpha, double update_probability,
+                         Rng& rng) {
+  std::vector<NodeId> all(tree.size());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  const auto ranked = random_rank_assignment(all, rng);
+  const ZipfSampler sampler(ranked.size(), skew);
+  Trace trace;
+  trace.reserve(length);
+  while (trace.size() < length) {
+    const NodeId v = ranked[sampler.sample(rng)];
+    if (rng.chance(update_probability)) {
+      // One rule update = alpha negative requests (Appendix B).
+      append_repeated(trace, negative(v),
+                      std::min<std::size_t>(alpha, length - trace.size()));
+    } else {
+      trace.push_back(positive(v));
+    }
+  }
+  return trace;
+}
+
+}  // namespace treecache::workload

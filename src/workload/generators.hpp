@@ -1,0 +1,43 @@
+// Request-trace generators for tests, examples and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::workload {
+
+/// Uniformly random requests; each is negative with probability
+/// `negative_fraction`.
+[[nodiscard]] Trace uniform_trace(const Tree& tree, std::size_t length,
+                                  double negative_fraction, Rng& rng);
+
+/// Zipf-popular nodes: a random rank permutation is drawn over all nodes and
+/// requests sample ranks from Zipf(skew).
+[[nodiscard]] Trace zipf_trace(const Tree& tree, std::size_t length,
+                               double skew, double negative_fraction,
+                               Rng& rng);
+
+/// Zipf over the leaves only (FIB-like: traffic hits most-specific rules).
+[[nodiscard]] Trace zipf_leaf_trace(const Tree& tree, std::size_t length,
+                                    double skew, double negative_fraction,
+                                    Rng& rng);
+
+/// Moving hotspot: positive requests concentrate on a random subtree; the
+/// hotspot jumps to another node with probability `move_probability` per
+/// request. Mimics temporal locality with working-set shifts.
+[[nodiscard]] Trace hotspot_trace(const Tree& tree, std::size_t length,
+                                  double move_probability,
+                                  double negative_fraction, Rng& rng);
+
+/// FIB-style churn: Zipf-popular positive requests interleaved with rule
+/// updates, each modelled as a chunk of `alpha` negative requests to a
+/// Zipf-popular node (Appendix B). `update_probability` is the per-round
+/// chance that the next event is an update chunk instead of one packet.
+[[nodiscard]] Trace update_churn_trace(const Tree& tree, std::size_t length,
+                                       double skew, std::uint64_t alpha,
+                                       double update_probability, Rng& rng);
+
+}  // namespace treecache::workload

@@ -1,0 +1,41 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treecache {
+
+std::vector<double> zipf_weights(std::size_t n, double skew) {
+  TC_CHECK(n >= 1, "need at least one rank");
+  TC_CHECK(skew >= 0.0, "negative skew not supported");
+  std::vector<double> weights(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), skew);
+  }
+  return weights;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  const auto weights = zipf_weights(n, skew);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += weights[r];
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  TC_CHECK(rank < cdf_.size(), "rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace treecache

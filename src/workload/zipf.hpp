@@ -1,0 +1,35 @@
+// Zipf(s) sampling over ranks 0..n-1 (rank 0 most popular).
+//
+// The FIB application leans on the empirical observation (Sarrar et al.,
+// cited in §2 of the paper) that per-rule traffic is Zipf-distributed; the
+// sampler below backs all skewed workload generators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace treecache {
+
+class ZipfSampler {
+ public:
+  /// P(rank = r) ∝ 1 / (r+1)^skew. skew = 0 is uniform.
+  ZipfSampler(std::size_t n, double skew);
+
+  /// Draws a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of a rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+/// Unnormalized Zipf weights 1/(r+1)^skew for ranks 0..n-1.
+[[nodiscard]] std::vector<double> zipf_weights(std::size_t n, double skew);
+
+}  // namespace treecache

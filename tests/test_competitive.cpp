@@ -1,0 +1,128 @@
+// Empirical competitive analysis: Theorem 5.15's upper-bound shape on
+// random instances (against the exact offline DP) and the Theorem C.1
+// lower-bound construction.
+#include <gtest/gtest.h>
+
+#include "baselines/opt_offline.hpp"
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/adversary.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+double ratio_of(std::uint64_t tc, std::uint64_t opt) {
+  return opt == 0 ? 1.0
+                  : static_cast<double>(tc) / static_cast<double>(opt);
+}
+
+TEST(Competitive, UpperBoundShapeOnRandomInstances) {
+  // Theorem 5.15: TC(I) <= O(h·R)·Opt(I) + O(h·k_ONL·α). We check the
+  // inequality with one generous constant for both terms.
+  constexpr double kConstant = 30.0;
+  Rng rng(2024);
+  for (int round = 0; round < 25; ++round) {
+    Rng inst(rng());
+    const std::size_t n = 6 + inst.below(5);  // 6..10 nodes
+    const Tree t = trees::random_recursive(n, inst);
+    const std::uint64_t alpha = 1 + inst.below(4);
+    const std::size_t k = 2 + inst.below(n - 1);
+    const Trace trace = workload::uniform_trace(t, 300, 0.4, inst);
+
+    TreeCache tc(t, {.alpha = alpha, .capacity = k});
+    const std::uint64_t online = tc.run(trace).total();
+    const std::uint64_t opt =
+        opt_offline_cost(t, trace, {.alpha = alpha, .capacity = k});
+
+    const double h = t.height();
+    const double r = static_cast<double>(k);  // k_OPT = k_ONL ⇒ R = k
+    const double bound =
+        kConstant * (h * r * static_cast<double>(opt) +
+                     h * static_cast<double>(k) * static_cast<double>(alpha));
+    EXPECT_LE(static_cast<double>(online), bound)
+        << "round " << round << " n=" << n << " k=" << k
+        << " alpha=" << alpha << " online=" << online << " opt=" << opt;
+  }
+}
+
+TEST(Competitive, TcNeverWorseThanNeverCachingByMuch) {
+  // TC's total cost can exceed the pay-every-request baseline only by the
+  // churn it invests, which its counters tie to the service cost: overall
+  // at most a constant factor (rent-or-buy).
+  Rng rng(4);
+  for (int round = 0; round < 10; ++round) {
+    Rng inst(rng());
+    const Tree t = trees::random_recursive(40, inst);
+    const Trace trace = workload::zipf_trace(t, 2000, 1.0, 0.3, inst);
+    const auto s = stats(trace, t.size());
+    TreeCache tc(t, {.alpha = 2 + inst.below(6), .capacity = 10});
+    const std::uint64_t online = tc.run(trace).total();
+    EXPECT_LE(online, 4 * (s.positives + s.negatives) + 64)
+        << "round " << round;
+  }
+}
+
+TEST(Competitive, LowerBoundRatioGrowsWithR) {
+  // Theorem C.1 instance: star over k_ONL + 1 leaves, adaptive adversary.
+  // With k_OPT = k_ONL = 6 the exact DP optimum is ~R times cheaper than
+  // TC; with k_OPT = 2 the gap collapses towards a constant.
+  const std::size_t k_onl = 6;
+  const Tree star = trees::star(k_onl + 1);  // 8 nodes: DP-friendly
+  const std::uint64_t alpha = 4;
+
+  TreeCache tc(star, {.alpha = alpha, .capacity = k_onl});
+  const Trace trace =
+      workload::run_paging_adversary(tc, star, alpha, /*chunks=*/90);
+  const std::uint64_t online = tc.cost().total();
+
+  const std::uint64_t opt_equal =
+      opt_offline_cost(star, trace, {.alpha = alpha, .capacity = k_onl});
+  const std::uint64_t opt_small =
+      opt_offline_cost(star, trace, {.alpha = alpha, .capacity = 2});
+
+  const double ratio_equal = ratio_of(online, opt_equal);
+  const double ratio_small = ratio_of(online, opt_small);
+
+  // R(k_OPT = 6) = 6, R(k_OPT = 2) = 6/5.
+  EXPECT_GE(ratio_equal, 2.0) << "online=" << online
+                              << " opt=" << opt_equal;
+  EXPECT_GT(ratio_equal, 1.8 * ratio_small);
+  EXPECT_LE(opt_small, online);
+}
+
+TEST(Competitive, AugmentationImprovesTheRatio) {
+  // Fix k_OPT = 3 and grow TC's cache: the measured ratio must drop,
+  // following R = k_ONL/(k_ONL − k_OPT + 1).
+  const std::uint64_t alpha = 4;
+  double previous_ratio = 1e9;
+  for (const std::size_t k_onl : {3u, 5u, 8u}) {
+    const Tree star = trees::star(k_onl + 1);
+    TreeCache tc(star, {.alpha = alpha, .capacity = k_onl});
+    const Trace trace =
+        workload::run_paging_adversary(tc, star, alpha, /*chunks=*/80);
+    const std::uint64_t opt =
+        opt_offline_cost(star, trace, {.alpha = alpha, .capacity = 3});
+    const double ratio = ratio_of(tc.cost().total(), opt);
+    EXPECT_LT(ratio, previous_ratio * 1.05)
+        << "k_ONL=" << k_onl;  // 5% slack for small-instance noise
+    previous_ratio = ratio;
+  }
+}
+
+TEST(Competitive, OptBeatsTcOnEveryAdversarialRun) {
+  Rng rng(8);
+  for (const std::size_t k : {2u, 4u}) {
+    const Tree star = trees::star(k + 1);
+    TreeCache tc(star, {.alpha = 2, .capacity = k});
+    const Trace trace = workload::run_paging_adversary(tc, star, 2, 60);
+    const std::uint64_t opt =
+        opt_offline_cost(star, trace, {.alpha = 2, .capacity = k});
+    EXPECT_LE(opt, tc.cost().total());
+    EXPECT_GT(opt, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace treecache

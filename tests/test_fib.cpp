@@ -1,0 +1,241 @@
+// FIB substrate: IPv4 parsing, trie LPM vs linear scan, rule-tree
+// structure, synthetic RIB properties, router simulation correctness, and
+// the Appendix B canonicalization bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/lru_closure.hpp"
+#include "core/tree_cache.hpp"
+#include "fib/canonicalizer.hpp"
+#include "fib/rib_gen.hpp"
+#include "fib/router_sim.hpp"
+#include "fib/rule_tree.hpp"
+#include "fib/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::fib {
+namespace {
+
+TEST(Ipv4, AddressRoundTrip) {
+  EXPECT_EQ(address_to_string(0xC0A80101), "192.168.1.1");
+  EXPECT_EQ(parse_address("192.168.1.1"), 0xC0A80101u);
+  EXPECT_EQ(parse_address("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_address("255.255.255.255"), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, PrefixParseAndNormalize) {
+  const Prefix p = Prefix::parse("10.1.2.3/8");
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");  // low bits dropped
+  EXPECT_EQ(p.length, 8);
+  EXPECT_TRUE(p.contains(parse_address("10.255.0.1")));
+  EXPECT_FALSE(p.contains(parse_address("11.0.0.1")));
+}
+
+TEST(Ipv4, PrefixContainsPrefix) {
+  const Prefix wide = Prefix::parse("10.0.0.0/8");
+  const Prefix narrow = Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+  EXPECT_TRUE(Prefix{}.contains(narrow));  // default route covers all
+}
+
+TEST(Ipv4, RejectsMalformedInput) {
+  EXPECT_THROW(Prefix::parse("10.0.0.0"), CheckFailure);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/33"), CheckFailure);
+  EXPECT_THROW((void)parse_address("300.0.0.1"), CheckFailure);
+  EXPECT_THROW((void)parse_address("10.0.0"), CheckFailure);
+}
+
+TEST(PrefixTrie, LpmBasics) {
+  PrefixTrie trie;
+  EXPECT_TRUE(trie.insert(Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(Prefix::parse("10.1.0.0/16"), 2));
+  EXPECT_TRUE(trie.insert(Prefix::parse("192.168.0.0/16"), 3));
+  EXPECT_FALSE(trie.insert(Prefix::parse("10.0.0.0/8"), 9));  // duplicate
+
+  EXPECT_EQ(trie.lookup(parse_address("10.1.2.3")).value(), 2u);
+  EXPECT_EQ(trie.lookup(parse_address("10.2.2.3")).value(), 1u);
+  EXPECT_EQ(trie.lookup(parse_address("192.168.9.9")).value(), 3u);
+  EXPECT_FALSE(trie.lookup(parse_address("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, LookupIfRestrictsMatches) {
+  PrefixTrie trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("10.1.0.0/16"), 2);
+  const Address addr = parse_address("10.1.2.3");
+  const auto only_rule_1 =
+      trie.lookup_if(addr, [](RuleId r) { return r == 1; });
+  EXPECT_EQ(only_rule_1.value(), 1u);
+  const auto nothing = trie.lookup_if(addr, [](RuleId) { return false; });
+  EXPECT_FALSE(nothing.has_value());
+}
+
+TEST(PrefixTrie, MatchesLinearScanOnRandomRib) {
+  Rng rng(42);
+  const auto rib = generate_rib({.rules = 400}, rng);
+  PrefixTrie trie;
+  for (std::size_t i = 0; i < rib.size(); ++i) {
+    trie.insert(rib[i], static_cast<RuleId>(i));
+  }
+  for (int round = 0; round < 2000; ++round) {
+    const auto addr = static_cast<Address>(rng());
+    // Linear scan for the longest matching prefix.
+    int best = -1;
+    for (std::size_t i = 0; i < rib.size(); ++i) {
+      if (rib[i].contains(addr) &&
+          (best < 0 ||
+           rib[i].length > rib[static_cast<std::size_t>(best)].length)) {
+        best = static_cast<int>(i);
+      }
+    }
+    const auto got = trie.lookup(addr);
+    if (best < 0) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      // Lengths must agree (several rules may share bits/length shape).
+      EXPECT_EQ(rib[*got].length,
+                rib[static_cast<std::size_t>(best)].length);
+      EXPECT_TRUE(rib[*got].contains(addr));
+    }
+  }
+}
+
+TEST(RuleTree, ParentIsLongestProperAncestor) {
+  Rng rng(7);
+  const auto rib = generate_rib({.rules = 300, .deaggregation = 0.6}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+  ASSERT_EQ(rt.tree.size(), rt.prefix.size());
+  for (NodeId v = 1; v < rt.tree.size(); ++v) {
+    const NodeId p = rt.tree.parent(v);
+    EXPECT_TRUE(rt.prefix[p].contains(rt.prefix[v]));
+    EXPECT_LT(rt.prefix[p].length, rt.prefix[v].length);
+    // No other rule sits strictly between v and its parent.
+    for (NodeId u = 1; u < rt.tree.size(); ++u) {
+      if (u == v || u == p) continue;
+      const bool between = rt.prefix[u].contains(rt.prefix[v]) &&
+                           rt.prefix[p].contains(rt.prefix[u]) &&
+                           rt.prefix[u].length > rt.prefix[p].length &&
+                           rt.prefix[u].length < rt.prefix[v].length;
+      EXPECT_FALSE(between) << "rule " << u << " between " << v
+                            << " and its parent";
+    }
+  }
+}
+
+TEST(RuleTree, DropsDuplicatesAndDefaultRoute) {
+  std::vector<Prefix> prefixes{
+      Prefix::parse("10.0.0.0/8"), Prefix::parse("10.0.0.0/8"),
+      Prefix::make(0, 0),  // explicit default route merges into the root
+      Prefix::parse("10.1.0.0/16")};
+  const RuleTree rt = build_rule_tree(prefixes);
+  EXPECT_EQ(rt.tree.size(), 3u);  // root + two rules
+  EXPECT_EQ(rt.lpm(parse_address("10.1.9.9")),
+            2u);  // the /16, inserted after the /8
+  EXPECT_EQ(rt.lpm(parse_address("77.1.9.9")), 0u);  // default rule
+}
+
+TEST(RibGen, ProducesRequestedDistinctRules) {
+  Rng rng(11);
+  const auto rib = generate_rib({.rules = 1000}, rng);
+  EXPECT_EQ(rib.size(), 1000u);
+  auto sorted = rib;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const Prefix& p : rib) {
+    EXPECT_GE(p.length, 8);
+    EXPECT_LE(p.length, 24);
+    EXPECT_EQ(p.bits, Prefix::make(p.bits, p.length).bits);  // normalized
+  }
+}
+
+TEST(RibGen, DeaggregationCreatesDepth) {
+  Rng rng(13);
+  const auto flat_rib = generate_rib({.rules = 800, .deaggregation = 0.0}, rng);
+  const auto deep_rib = generate_rib({.rules = 800, .deaggregation = 0.8}, rng);
+  const RuleTree flat = build_rule_tree(flat_rib);
+  const RuleTree deep = build_rule_tree(deep_rib);
+  EXPECT_GT(deep.tree.height(), flat.tree.height());
+}
+
+TEST(RouterSim, NoForwardingErrorsAndConsistentCounts) {
+  Rng rng(17);
+  const auto rib = generate_rib({.rules = 500, .deaggregation = 0.5}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+  TreeCache tc(rt.tree, {.alpha = 8, .capacity = 64});
+  const auto result = run_router_sim(
+      rt, tc,
+      {.packets = 20000, .zipf_skew = 1.1, .update_probability = 0.02,
+       .alpha = 8, .seed = 5});
+  EXPECT_EQ(result.forwarding_errors, 0u);
+  EXPECT_EQ(result.hits + result.misses, result.packets);
+  EXPECT_GT(result.hits, 0u) << "cache never got hot";
+  EXPECT_GT(result.misses, 0u);
+  EXPECT_EQ(result.algorithm_cost.total(), tc.cost().total());
+}
+
+TEST(RouterSim, LruClosureIsAlsoForwardingCorrect) {
+  Rng rng(19);
+  const auto rib = generate_rib({.rules = 300}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+  LruClosure lru(rt.tree, {.alpha = 4, .capacity = 48});
+  const auto result = run_router_sim(
+      rt, lru,
+      {.packets = 8000, .zipf_skew = 1.0, .update_probability = 0.01,
+       .alpha = 4, .seed = 23});
+  EXPECT_EQ(result.forwarding_errors, 0u);
+  EXPECT_GT(result.hits, 0u);
+}
+
+TEST(RouterSim, ZeroCapacityEquivalentMissesEverything) {
+  Rng rng(29);
+  const auto rib = generate_rib({.rules = 100}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+  // Capacity 1 with a huge alpha: nothing ever gets cached in time.
+  TreeCache tc(rt.tree, {.alpha = 1000000, .capacity = 1});
+  const auto result = run_router_sim(
+      rt, tc, {.packets = 2000, .zipf_skew = 1.0, .alpha = 4, .seed = 3});
+  EXPECT_EQ(result.hits, 0u);
+  EXPECT_EQ(result.misses, result.packets);
+}
+
+TEST(Canonicalizer, FactorTwoBoundOnUpdateHeavyWorkloads) {
+  Rng rng(31);
+  const auto rib = generate_rib({.rules = 200, .deaggregation = 0.5}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+  for (const double update_prob : {0.05, 0.2, 0.5}) {
+    Rng wl(rng());
+    const auto workload = make_fib_workload(
+        rt,
+        {.events = 20000, .zipf_skew = 1.0,
+         .update_probability = update_prob, .alpha = 8},
+        wl);
+    TreeCache tc(rt.tree, {.alpha = 8, .capacity = 32});
+    const auto report = run_canonicalized(rt.tree, workload, tc);
+    EXPECT_EQ(report.raw_cost.total(), tc.cost().total());
+    EXPECT_LE(report.canonical_cost.total(), 2 * report.raw_cost.total())
+        << "update_prob " << update_prob;
+    EXPECT_LE(report.dirty_chunks, report.chunks);
+  }
+}
+
+TEST(Canonicalizer, CleanRunsCostTheSame) {
+  // Without any chunks, canonical and raw costs agree exactly.
+  Rng rng(37);
+  const auto rib = generate_rib({.rules = 150}, rng);
+  const RuleTree rt = build_rule_tree(rib);
+  const auto workload = make_fib_workload(
+      rt, {.events = 5000, .zipf_skew = 1.0, .update_probability = 0.0,
+           .alpha = 4},
+      rng);
+  EXPECT_TRUE(workload.chunks.empty());
+  TreeCache tc(rt.tree, {.alpha = 4, .capacity = 24});
+  const auto report = run_canonicalized(rt.tree, workload, tc);
+  EXPECT_EQ(report.canonical_cost.total(), report.raw_cost.total());
+}
+
+}  // namespace
+}  // namespace treecache::fib

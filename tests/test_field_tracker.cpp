@@ -1,0 +1,132 @@
+// Field tracker: Observation 5.2, the p_out = p_in + k_P period accounting
+// (Figure 3), the Lemma 5.3 cost bound, and the event-space rendering.
+#include <gtest/gtest.h>
+
+#include "core/field_tracker.hpp"
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+/// Runs TC over a trace with a tracker attached; returns the tracker.
+FieldTracker track_run(const Tree& tree, const Trace& trace,
+                       std::uint64_t alpha, std::size_t capacity) {
+  TreeCache tc(tree, {.alpha = alpha, .capacity = capacity});
+  FieldTracker tracker(tree, alpha);
+  for (const Request& r : trace) tracker.observe(r, tc.step(r));
+  tracker.finalize();
+  return tracker;
+}
+
+TEST(FieldTracker, SingleFetchMakesOneField) {
+  const Tree t = trees::path(3);
+  Trace trace{positive(2), positive(2)};
+  const auto tracker = track_run(t, trace, 2, 3);
+  ASSERT_EQ(tracker.fields().size(), 1u);
+  const Field& f = tracker.fields()[0];
+  EXPECT_EQ(f.kind, ChangeKind::kFetch);
+  EXPECT_EQ(f.end_round, 2u);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.requests, 2u);
+  EXPECT_EQ(f.members[0].node, 2u);
+  EXPECT_EQ(f.members[0].from_round, 1u);  // window starts at phase begin
+}
+
+TEST(FieldTracker, ObservationFiveTwoOnRandomTraffic) {
+  Rng rng(11);
+  for (int round = 0; round < 12; ++round) {
+    Rng inst(rng());
+    const Tree t = trees::random_recursive(30, inst);
+    const Trace trace = workload::uniform_trace(t, 1200, 0.4, inst);
+    const std::uint64_t alpha = 1 + inst.below(4);
+    const std::size_t k = 1 + inst.below(20);
+    // The tracker itself throws if req(F) != size(F)·α for any field.
+    const auto tracker = track_run(t, trace, alpha, k);
+    for (const Field& f : tracker.fields()) {
+      EXPECT_EQ(f.requests, f.size() * alpha);
+    }
+  }
+}
+
+TEST(FieldTracker, PeriodAccountingAcrossPhases) {
+  Rng rng(23);
+  for (int round = 0; round < 12; ++round) {
+    Rng inst(rng());
+    const Tree t = trees::random_bounded_degree(24, 3, inst);
+    const Trace trace = workload::uniform_trace(t, 1500, 0.35, inst);
+    const auto tracker = track_run(t, trace, 2, 5);
+    EXPECT_NO_THROW(tracker.verify_period_accounting());
+    // At least one finished phase should exist with this tight capacity.
+    bool finished = false;
+    for (const auto& p : tracker.phases()) finished |= p.finished;
+    EXPECT_TRUE(finished);
+  }
+}
+
+TEST(FieldTracker, FinishedPhaseHasLargeKp) {
+  Rng rng(31);
+  const Tree t = trees::random_recursive(20, rng);
+  const Trace trace = workload::uniform_trace(t, 2000, 0.2, rng);
+  const std::size_t capacity = 4;
+  const auto tracker = track_run(t, trace, 2, capacity);
+  for (const auto& p : tracker.phases()) {
+    if (p.finished) {
+      EXPECT_GE(p.k_end, capacity + 1);  // k_P >= k_ONL + 1
+    }
+  }
+}
+
+TEST(FieldTracker, LemmaFiveThreeBound) {
+  Rng rng(47);
+  for (int round = 0; round < 10; ++round) {
+    Rng inst(rng());
+    const Tree t = trees::random_recursive(25, inst);
+    const Trace trace = workload::uniform_trace(t, 1500, 0.45, inst);
+    const std::uint64_t alpha = 1 + inst.below(4);
+    const auto tracker = track_run(t, trace, alpha, 6);
+    EXPECT_NO_THROW(tracker.verify_lemma_5_3(alpha));
+  }
+}
+
+TEST(FieldTracker, OpenFieldCollectsUnfinishedWindows) {
+  const Tree t = trees::path(3);
+  // One paid request, no field ever closes: req(F∞) = 1.
+  Trace trace{positive(2)};
+  const auto tracker = track_run(t, trace, 4, 3);
+  ASSERT_EQ(tracker.phases().size(), 1u);
+  EXPECT_EQ(tracker.phases()[0].open_field_requests, 1u);
+  EXPECT_EQ(tracker.phases()[0].field_count, 0u);
+  EXPECT_FALSE(tracker.phases()[0].finished);
+}
+
+TEST(FieldTracker, RendersLineTreeEventSpace) {
+  const Tree t = trees::path(3);
+  Trace trace{positive(2), positive(2), positive(1), positive(1),
+              negative(1), negative(1)};
+  TreeCache tc(t, {.alpha = 2, .capacity = 3});
+  FieldTracker tracker(t, 2);
+  for (const Request& r : trace) tracker.observe(r, tc.step(r));
+  tracker.finalize();
+  const std::string art = tracker.render_event_space();
+  // Three rows (one per node), each 6 columns wide between the bars.
+  EXPECT_NE(art.find("node 0"), std::string::npos);
+  EXPECT_NE(art.find("node 2"), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_NE(art.find('-'), std::string::npos);
+}
+
+TEST(FieldTracker, RefusesObservationAfterFinalize) {
+  const Tree t = trees::path(2);
+  TreeCache tc(t, {.alpha = 2, .capacity = 2});
+  FieldTracker tracker(t, 2);
+  tracker.observe(positive(1), tc.step(positive(1)));
+  tracker.finalize();
+  EXPECT_THROW(tracker.observe(positive(1), tc.step(positive(1))),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace treecache

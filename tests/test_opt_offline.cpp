@@ -1,0 +1,116 @@
+// Exact offline OPT: DP vs brute force, dominance properties, and
+// consistency against online algorithms.
+#include <gtest/gtest.h>
+
+#include "baselines/opt_offline.hpp"
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+TEST(OptOffline, EmptyTraceCostsNothing) {
+  const Tree t = trees::path(4);
+  EXPECT_EQ(opt_offline_cost(t, {}, {.alpha = 2, .capacity = 2}), 0u);
+}
+
+TEST(OptOffline, BypassingBeatsFetchingForRareRequests) {
+  // One positive request: serving it costs 1; fetching would cost alpha=4.
+  const Tree t = trees::path(3);
+  Trace trace{positive(2)};
+  EXPECT_EQ(opt_offline_cost(t, trace, {.alpha = 4, .capacity = 3}), 1u);
+}
+
+TEST(OptOffline, FetchingBeatsBypassingForHotNodes) {
+  // Ten positive requests to a leaf, alpha = 2: prefetch for 2, serve free.
+  const Tree t = trees::path(3);
+  Trace trace(10, positive(2));
+  EXPECT_EQ(opt_offline_cost(t, trace, {.alpha = 2, .capacity = 3}), 2u);
+}
+
+TEST(OptOffline, NegativeRequestsFavorEviction) {
+  // Hot node turns cold: 10 positives then 10 negatives, alpha = 2.
+  // Best: prefetch (2), serve positives free, evict (2), negatives free.
+  const Tree t = trees::path(2);
+  Trace trace(10, positive(1));
+  trace.insert(trace.end(), 10, negative(1));
+  EXPECT_EQ(opt_offline_cost(t, trace, {.alpha = 2, .capacity = 2}), 4u);
+}
+
+TEST(OptOffline, RespectsSubforestConstraint) {
+  // Two requests to the ROOT of a star with 3 leaves: caching the root
+  // requires caching all 4 nodes, too expensive with capacity 2 — so OPT
+  // pays the requests instead.
+  const Tree t = trees::star(3);
+  Trace trace(2, positive(0));
+  EXPECT_EQ(opt_offline_cost(t, trace, {.alpha = 2, .capacity = 2}), 2u);
+  // With capacity 4 and more requests, prefetching the whole tree wins.
+  Trace heavy(20, positive(0));
+  EXPECT_EQ(opt_offline_cost(t, heavy, {.alpha = 2, .capacity = 4}), 8u);
+}
+
+TEST(OptOffline, MatchesBruteForceOnTinyInstances) {
+  Rng rng(77);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.below(4);  // 2..5 nodes
+    Rng tree_rng(rng());
+    const Tree t = trees::random_recursive(n, tree_rng);
+    const Trace trace =
+        workload::uniform_trace(t, 2 + rng.below(4), 0.4, tree_rng);
+    const OptOfflineConfig config{.alpha = 1 + rng.below(3),
+                                  .capacity = 1 + rng.below(n)};
+    EXPECT_EQ(opt_offline_cost(t, trace, config),
+              opt_offline_cost_bruteforce(t, trace, config))
+        << "round " << round;
+  }
+}
+
+TEST(OptOffline, MonotoneInCapacity) {
+  Rng rng(5);
+  const Tree t = trees::random_recursive(8, rng);
+  const Trace trace = workload::uniform_trace(t, 60, 0.3, rng);
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (std::size_t k = 1; k <= t.size(); ++k) {
+    const std::uint64_t cost =
+        opt_offline_cost(t, trace, {.alpha = 2, .capacity = k});
+    EXPECT_LE(cost, prev) << "capacity " << k;
+    prev = cost;
+  }
+}
+
+TEST(OptOffline, NeverAboveOnlineTc) {
+  Rng rng(13);
+  for (int round = 0; round < 10; ++round) {
+    Rng inst(rng());
+    const Tree t = trees::random_recursive(7, inst);
+    const Trace trace = workload::uniform_trace(t, 120, 0.35, inst);
+    const std::uint64_t alpha = 1 + inst.below(3);
+    const std::size_t k = 1 + inst.below(t.size());
+    TreeCache tc(t, {.alpha = alpha, .capacity = k});
+    const Cost online = tc.run(trace);
+    const std::uint64_t opt =
+        opt_offline_cost(t, trace, {.alpha = alpha, .capacity = k});
+    EXPECT_LE(opt, online.total()) << "round " << round;
+  }
+}
+
+TEST(OptOffline, LowerBoundedByUncacheableService) {
+  // With capacity 0 disallowed, use capacity 1 on a path where the hot
+  // node is the root: the root can never be cached alone, so every
+  // request is paid.
+  const Tree t = trees::path(3);
+  Trace trace(7, positive(0));
+  EXPECT_EQ(opt_offline_cost(t, trace, {.alpha = 1, .capacity = 1}), 7u);
+}
+
+TEST(OptOffline, RejectsTooLargeTrees) {
+  Rng rng(1);
+  const Tree t = trees::random_recursive(21, rng);
+  EXPECT_THROW((void)opt_offline_cost(t, {}, {.alpha = 1, .capacity = 2}),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -1,0 +1,154 @@
+// Classic paging toolkit: algorithm behaviour and Belady optimality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/paging.hpp"
+#include "util/rng.hpp"
+
+namespace treecache {
+namespace {
+
+std::vector<PageId> random_sequence(std::size_t length, PageId universe,
+                                    Rng& rng) {
+  std::vector<PageId> seq(length);
+  for (auto& p : seq) p = static_cast<PageId>(rng.below(universe));
+  return seq;
+}
+
+/// Exponential-time exact paging optimum by state-space search over cache
+/// contents (small universes only).
+std::uint64_t exact_paging_opt(const std::vector<PageId>& seq,
+                               std::size_t k) {
+  // State: sorted cache content; BFS over rounds with memoized best cost.
+  std::vector<std::vector<PageId>> states{{}};
+  std::vector<std::uint64_t> costs{0};
+  for (const PageId p : seq) {
+    std::vector<std::vector<PageId>> next_states;
+    std::vector<std::uint64_t> next_costs;
+    auto push = [&](std::vector<PageId> s, std::uint64_t c) {
+      std::sort(s.begin(), s.end());
+      for (std::size_t i = 0; i < next_states.size(); ++i) {
+        if (next_states[i] == s) {
+          next_costs[i] = std::min(next_costs[i], c);
+          return;
+        }
+      }
+      next_states.push_back(std::move(s));
+      next_costs.push_back(c);
+    };
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const auto& s = states[i];
+      if (std::find(s.begin(), s.end(), p) != s.end()) {
+        push(s, costs[i]);  // hit
+        continue;
+      }
+      // fault: fetch p, evicting any subset position if full
+      if (s.size() < k) {
+        auto grown = s;
+        grown.push_back(p);
+        push(std::move(grown), costs[i] + 1);
+      } else {
+        for (std::size_t victim = 0; victim < s.size(); ++victim) {
+          auto swapped = s;
+          swapped[victim] = p;
+          push(std::move(swapped), costs[i] + 1);
+        }
+      }
+    }
+    states = std::move(next_states);
+    costs = std::move(next_costs);
+  }
+  return *std::min_element(costs.begin(), costs.end());
+}
+
+TEST(Paging, LruEvictsLeastRecent) {
+  LruPaging lru(2);
+  EXPECT_TRUE(lru.access(1));
+  EXPECT_TRUE(lru.access(2));
+  EXPECT_FALSE(lru.access(1));  // refresh 1
+  EXPECT_TRUE(lru.access(3));   // evicts 2
+  EXPECT_TRUE(lru.cached(1));
+  EXPECT_FALSE(lru.cached(2));
+  EXPECT_EQ(lru.faults(), 3u);
+}
+
+TEST(Paging, FifoIgnoresRecency) {
+  FifoPaging fifo(2);
+  fifo.access(1);
+  fifo.access(2);
+  EXPECT_FALSE(fifo.access(1));
+  fifo.access(3);  // evicts 1 despite the recent hit
+  EXPECT_FALSE(fifo.cached(1));
+  EXPECT_TRUE(fifo.cached(2));
+}
+
+TEST(Paging, FwfFlushesWholeCache) {
+  FwfPaging fwf(2);
+  fwf.access(1);
+  fwf.access(2);
+  fwf.access(3);  // flush, cache = {3}
+  EXPECT_FALSE(fwf.cached(1));
+  EXPECT_FALSE(fwf.cached(2));
+  EXPECT_TRUE(fwf.cached(3));
+}
+
+TEST(Paging, BeladyMatchesExactOptimum) {
+  Rng rng(555);
+  for (int round = 0; round < 30; ++round) {
+    Rng inst(rng());
+    const std::size_t k = 1 + inst.below(3);
+    const auto seq = random_sequence(10, 4, inst);
+    EXPECT_EQ(belady_faults(seq, k), exact_paging_opt(seq, k))
+        << "round " << round << " k=" << k;
+  }
+}
+
+TEST(Paging, BeladyNeverAboveOnlineAlgorithms) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    Rng inst(rng());
+    const auto seq = random_sequence(300, 10, inst);
+    const std::size_t k = 2 + inst.below(6);
+    LruPaging lru(k);
+    FifoPaging fifo(k);
+    FwfPaging fwf(k);
+    for (const PageId p : seq) {
+      lru.access(p);
+      fifo.access(p);
+      fwf.access(p);
+    }
+    const std::uint64_t opt = belady_faults(seq, k);
+    EXPECT_LE(opt, lru.faults());
+    EXPECT_LE(opt, fifo.faults());
+    EXPECT_LE(opt, fwf.faults());
+  }
+}
+
+TEST(Paging, SleatorTarjanBoundHolds) {
+  // LRU is k-competitive: on any sequence over k+1 pages, faults(LRU) <=
+  // k * OPT + k.
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    Rng inst(rng());
+    const std::size_t k = 2 + inst.below(4);
+    const auto seq =
+        random_sequence(400, static_cast<PageId>(k + 1), inst);
+    LruPaging lru(k);
+    for (const PageId p : seq) lru.access(p);
+    const std::uint64_t opt = belady_faults(seq, k);
+    EXPECT_LE(lru.faults(), k * opt + k);
+  }
+}
+
+TEST(Paging, ResetClearsState) {
+  LruPaging lru(2);
+  lru.access(1);
+  lru.access(2);
+  lru.reset();
+  EXPECT_EQ(lru.faults(), 0u);
+  EXPECT_FALSE(lru.cached(1));
+}
+
+}  // namespace
+}  // namespace treecache

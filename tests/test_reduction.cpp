@@ -1,0 +1,100 @@
+// Appendix C reduction, quantitatively: the lifted tree instance's exact
+// optimum is within the predicted Θ(α) envelope of Belady's fault count,
+// plus a heavier differential stress run of TC vs the naive reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/opt_offline.hpp"
+#include "baselines/paging.hpp"
+#include "core/naive_tree_cache.hpp"
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/adversary.hpp"
+
+namespace treecache {
+namespace {
+
+TEST(Reduction, LiftedOptWithinBeladyEnvelope) {
+  // Replaying Belady on the lifted instance costs at most (1 + 2α) per
+  // fault plus α·k for the initial fetch, so
+  //   Opt_tree ≤ (1 + 2α)·faults + α·k.
+  // Conversely a tree solution induces a paging-with-bypassing solution
+  // that pays ≥ 1 per non-covered chunk, and forced paging (Belady) is at
+  // most twice the bypassing optimum:
+  //   2·Opt_tree ≥ faults.
+  Rng rng(42);
+  for (int round = 0; round < 12; ++round) {
+    Rng inst(rng());
+    const PageId pages = 4 + static_cast<PageId>(inst.below(3));  // 4..6
+    const std::size_t k = 2 + inst.below(2);                      // 2..3
+    const std::uint64_t alpha = 2 + 2 * inst.below(2);            // 2 or 4
+    std::vector<PageId> sequence(50);
+    for (auto& p : sequence) p = static_cast<PageId>(inst.below(pages));
+
+    const std::uint64_t faults = belady_faults(sequence, k);
+    const Tree star = trees::star(pages);
+    const Trace lifted = workload::lift_paging_sequence(sequence, alpha);
+    const std::uint64_t opt_tree =
+        opt_offline_cost(star, lifted, {.alpha = alpha, .capacity = k});
+
+    EXPECT_LE(opt_tree, (1 + 2 * alpha) * faults + alpha * k)
+        << "round " << round;
+    EXPECT_GE(2 * opt_tree, faults) << "round " << round;
+  }
+}
+
+TEST(Reduction, TcOnLiftedInstanceTracksPagingCosts) {
+  // TC's cost on the lifted instance, in units of alpha, is within a
+  // constant factor of LRU's fault count on the raw sequence (both are
+  // O(R)-competitive against the same optimum).
+  Rng rng(7);
+  const PageId pages = 10;
+  const std::size_t k = 5;
+  const std::uint64_t alpha = 8;
+  std::vector<PageId> sequence(3000);
+  for (auto& p : sequence) {
+    const double u = rng.uniform01();
+    p = static_cast<PageId>(static_cast<double>(pages) * u * u);
+    if (p >= pages) p = pages - 1;
+  }
+  LruPaging lru(k);
+  for (const PageId p : sequence) lru.access(p);
+
+  const Tree star = trees::star(pages);
+  TreeCache tc(star, {.alpha = alpha, .capacity = k});
+  const Trace lifted = workload::lift_paging_sequence(sequence, alpha);
+  const std::uint64_t tc_in_faults = tc.run(lifted).total() / alpha;
+
+  EXPECT_LE(tc_in_faults, 8 * lru.faults() + 8);
+  EXPECT_GE(8 * tc_in_faults, lru.faults());
+}
+
+TEST(ReductionStress, LargeDifferentialRun) {
+  // One heavy randomized differential pass: 300-node tree, 20k rounds.
+  Rng rng(1337);
+  const Tree tree = trees::random_recursive(300, rng);
+  const std::uint64_t alpha = 3;
+  const std::size_t capacity = 45;
+  TreeCache fast(tree, {.alpha = alpha, .capacity = capacity});
+  NaiveTreeCache naive(tree, {.alpha = alpha, .capacity = capacity});
+  for (int i = 0; i < 20000; ++i) {
+    const Request r{static_cast<NodeId>(rng.below(tree.size())),
+                    rng.chance(0.4) ? Sign::kNegative : Sign::kPositive};
+    const StepOutcome a = fast.step(r);
+    const StepOutcome b = naive.step(r);
+    ASSERT_EQ(a.paid, b.paid) << "round " << i;
+    ASSERT_EQ(a.change, b.change) << "round " << i;
+    std::vector<NodeId> av(a.changed.begin(), a.changed.end());
+    std::vector<NodeId> bv(b.changed.begin(), b.changed.end());
+    std::sort(av.begin(), av.end());
+    std::sort(bv.begin(), bv.end());
+    ASSERT_EQ(av, bv) << "round " << i;
+  }
+  EXPECT_EQ(fast.cost(), naive.cost());
+  EXPECT_EQ(fast.cache().as_vector(), naive.cache().as_vector());
+}
+
+}  // namespace
+}  // namespace treecache

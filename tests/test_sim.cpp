@@ -1,0 +1,155 @@
+// Simulation harness: run_trace accounting, metrics, sweeps, trace I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/tree_cache.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+TEST(Simulator, AccountingMatchesAlgorithmCost) {
+  Rng rng(1);
+  const Tree t = trees::random_recursive(30, rng);
+  const Trace trace = workload::uniform_trace(t, 800, 0.3, rng);
+  const std::uint64_t alpha = 3;
+  TreeCache tc(t, {.alpha = alpha, .capacity = 8});
+  const auto result = sim::run_trace(tc, trace);
+
+  EXPECT_EQ(result.rounds, trace.size());
+  EXPECT_EQ(result.cost, tc.cost());
+  EXPECT_EQ(result.cost.service, result.paid_requests);
+  // Every reorganized node costs alpha.
+  EXPECT_EQ(result.cost.reorg,
+            alpha * (result.fetched_nodes + result.evicted_nodes +
+                     result.restart_evictions));
+  EXPECT_LE(result.max_cache_size, 8u);
+  EXPECT_EQ(result.final_cache_size, tc.cache().size());
+}
+
+TEST(Simulator, ObserverSeesEveryRound) {
+  const Tree t = trees::path(3);
+  Trace trace{positive(2), positive(2), positive(1)};
+  TreeCache tc(t, {.alpha = 2, .capacity = 3});
+  std::size_t calls = 0;
+  std::size_t fetch_round = 0;
+  (void)sim::run_trace(tc, trace,
+                       [&](std::size_t round, Request, const StepOutcome& o) {
+                         ++calls;
+                         if (o.change == ChangeKind::kFetch) {
+                           fetch_round = round;
+                         }
+                       });
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(fetch_round, 2u);
+}
+
+TEST(Metrics, SummaryBasics) {
+  const auto s = sim::summarize({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Metrics, SummaryOfEmptyIsZero) {
+  const auto s = sim::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Metrics, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i + 2.0);
+  }
+  const auto fit = sim::fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Sweep, DeterministicAcrossRuns) {
+  auto run = [] {
+    return sim::parallel_sweep<double>(32, 99, [](std::size_t i, Rng& rng) {
+      return static_cast<double>(i) + rng.uniform01();
+    });
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Sweep, PropagatesExceptions) {
+  EXPECT_THROW(sim::parallel_sweep<int>(8, 1,
+                                        [](std::size_t i, Rng&) -> int {
+                                          if (i == 5) {
+                                            throw CheckFailure("boom");
+                                          }
+                                          return 0;
+                                        }),
+               CheckFailure);
+}
+
+TEST(TraceIo, SaveLoadRoundTrip) {
+  const Tree t = trees::path(5);
+  Rng rng(3);
+  const Trace trace = workload::uniform_trace(t, 200, 0.5, rng);
+  std::stringstream buffer;
+  save_trace(buffer, trace);
+  const Trace loaded = load_trace(buffer, t.size());
+  EXPECT_EQ(loaded, trace);
+}
+
+TEST(TraceIo, LoadRejectsOutOfRange) {
+  std::stringstream buffer("+7\n");
+  EXPECT_THROW(load_trace(buffer, 5), CheckFailure);
+}
+
+TEST(ConsoleTable, AlignsAndCounts) {
+  ConsoleTable table({"name", "value"});
+  table.add_row({"alpha", "2"});
+  table.add_row({"capacity", "1024"});
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1024"), std::string::npos);
+  // Every rendered line has the same width (alignment).
+  std::size_t expected_width = std::string::npos;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::size_t width = end - start;
+    if (expected_width == std::string::npos) expected_width = width;
+    EXPECT_EQ(width, expected_width);
+    start = end + 1;
+  }
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}), CheckFailure);
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  const std::string path = "/tmp/treecache_test_csv.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "with,comma"});
+    csv.add_row({"quote\"inside", "line\nbreak"});
+  }
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(all.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -1,0 +1,123 @@
+// Static optimum (tree sparsity DP): correctness vs brute force and
+// structural properties of the chosen subforest.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/static_opt.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+std::vector<std::uint64_t> random_weights(std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) x = rng.below(20);
+  return w;
+}
+
+TEST(StaticOpt, LeafHeavyStarPicksHotLeaves) {
+  const Tree t = trees::star(4);  // root 0, leaves 1..4
+  const std::vector<std::uint64_t> w{100, 1, 50, 60, 2};
+  const auto result = best_static_subforest(t, w, 2);
+  // Best two single leaves: 3 (60) and 2 (50). The root needs all 5 nodes.
+  EXPECT_EQ(result.covered_weight, 110u);
+  EXPECT_EQ(result.chosen_roots, (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(result.cached_nodes, 2u);
+}
+
+TEST(StaticOpt, WholeSubtreeWhenRootWeightDominates) {
+  const Tree t = trees::star(3);
+  const std::vector<std::uint64_t> w{1000, 1, 1, 1};
+  // Budget 3 cannot take the root (needs 4): best is the 3 leaves.
+  EXPECT_EQ(best_static_subforest(t, w, 3).covered_weight, 3u);
+  // Budget 4 takes everything.
+  const auto full = best_static_subforest(t, w, 4);
+  EXPECT_EQ(full.covered_weight, 1003u);
+  EXPECT_EQ(full.chosen_roots, (std::vector<NodeId>{0}));
+}
+
+TEST(StaticOpt, ZeroBudgetCoversNothing) {
+  const Tree t = trees::path(4);
+  const std::vector<std::uint64_t> w{5, 5, 5, 5};
+  const auto result = best_static_subforest(t, w, 0);
+  EXPECT_EQ(result.covered_weight, 0u);
+  EXPECT_TRUE(result.chosen_roots.empty());
+}
+
+TEST(StaticOpt, MatchesBruteForceRandomized) {
+  Rng rng(321);
+  for (int round = 0; round < 60; ++round) {
+    Rng inst(rng());
+    const std::size_t n = 2 + inst.below(11);  // 2..12 nodes
+    const Tree t = (round % 3 == 0)
+                       ? trees::random_recursive(n, inst)
+                       : (round % 3 == 1)
+                             ? trees::random_bounded_degree(n, 2, inst)
+                             : trees::path(n);
+    const auto w = random_weights(t.size(), inst);
+    const std::size_t k = inst.below(t.size() + 2);
+    const auto dp = best_static_subforest(t, w, k);
+    const auto brute = best_static_subforest_bruteforce(t, w, k);
+    EXPECT_EQ(dp.covered_weight, brute.covered_weight)
+        << "round " << round << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(StaticOpt, ChosenRootsFormAntichain) {
+  Rng rng(9);
+  const Tree t = trees::random_recursive(40, rng);
+  const auto w = random_weights(t.size(), rng);
+  const auto result = best_static_subforest(t, w, 15);
+  for (const NodeId a : result.chosen_roots) {
+    for (const NodeId b : result.chosen_roots) {
+      if (a != b) {
+        EXPECT_FALSE(t.is_ancestor_or_self(a, b))
+            << a << " covers " << b;
+      }
+    }
+  }
+}
+
+TEST(StaticOpt, PositiveWeightsCountOnlyPositives) {
+  const Tree t = trees::path(3);
+  Trace trace{positive(1), positive(1), negative(1), positive(2)};
+  const auto w = positive_weights(t, trace);
+  EXPECT_EQ(w, (std::vector<std::uint64_t>{0, 2, 1}));
+}
+
+TEST(StaticOpt, StaticCacheCostAccounting) {
+  const Tree t = trees::path(3);
+  // Cache T(1) = {1, 2}; alpha = 2 → fetch cost 4.
+  StaticOptResult chosen;
+  chosen.chosen_roots = {1};
+  chosen.cached_nodes = 2;
+  Trace trace{positive(1), positive(2), positive(0), negative(2),
+              negative(0)};
+  // paid: positive(0) = 1 (not cached), negative(2) = 1 (cached).
+  EXPECT_EQ(static_cache_cost(t, trace, 2, chosen), 4u + 2u);
+}
+
+TEST(StaticOpt, CoverageGrowsWithBudget) {
+  Rng rng(17);
+  const Tree t = trees::random_recursive(30, rng);
+  const auto w = random_weights(t.size(), rng);
+  std::uint64_t prev = 0;
+  for (std::size_t k = 0; k <= t.size(); ++k) {
+    const auto res = best_static_subforest(t, w, k);
+    EXPECT_GE(res.covered_weight, prev);
+    prev = res.covered_weight;
+  }
+  EXPECT_EQ(prev, std::accumulate(w.begin(), w.end(), std::uint64_t{0}));
+}
+
+TEST(StaticOpt, RejectsMismatchedWeights) {
+  const Tree t = trees::path(3);
+  const std::vector<std::uint64_t> w{1, 2};
+  EXPECT_THROW(best_static_subforest(t, w, 2), CheckFailure);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -1,0 +1,179 @@
+// Unit tests for Subforest: descendant-closure, changeset validity,
+// tree-cap helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/changeset_enum.hpp"
+#include "tree/subforest.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+
+namespace treecache {
+namespace {
+
+/// Builds the cache {leaf-side suffix} on a path tree.
+Subforest path_cache_suffix(const Tree& t, NodeId from) {
+  Subforest cache(t);
+  for (NodeId v = static_cast<NodeId>(t.size()); v-- > from;) cache.insert(v);
+  return cache;
+}
+
+TEST(Subforest, StartsEmptyAndValid) {
+  const Tree t = trees::complete_kary(3, 2);
+  const Subforest cache(t);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_TRUE(cache.is_valid());
+  EXPECT_TRUE(cache.maximal_roots().empty());
+}
+
+TEST(Subforest, InsertBottomUpKeepsValidity) {
+  const Tree t = trees::path(4);
+  Subforest cache(t);
+  cache.insert(3);
+  cache.insert(2);
+  EXPECT_TRUE(cache.is_valid());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Subforest, MaximalRootsOnStar) {
+  const Tree t = trees::star(4);
+  Subforest cache(t);
+  cache.insert(1);
+  cache.insert(3);
+  const auto roots = cache.maximal_roots();
+  EXPECT_EQ(roots, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(Subforest, CachedTreeRootWalksUp) {
+  const Tree t = trees::path(5);
+  const Subforest cache = path_cache_suffix(t, 2);
+  EXPECT_EQ(cache.cached_tree_root(4), 2u);
+  EXPECT_EQ(cache.cached_tree_root(2), 2u);
+}
+
+TEST(Subforest, MissingSubtreeIsWholeSubtreeWhenEmpty) {
+  const Tree t = trees::complete_kary(3, 2);
+  const Subforest cache(t);
+  auto missing = cache.missing_subtree(t.root());
+  EXPECT_EQ(missing.size(), t.size());
+}
+
+TEST(Subforest, MissingSubtreeSkipsCachedParts) {
+  const Tree t = trees::path(5);
+  const Subforest cache = path_cache_suffix(t, 3);  // {3, 4} cached
+  auto missing = cache.missing_subtree(1);
+  std::sort(missing.begin(), missing.end());
+  EXPECT_EQ(missing, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Subforest, PositiveChangesetValidity) {
+  const Tree t = trees::path(4);
+  const Subforest cache = path_cache_suffix(t, 3);  // {3} cached
+  // {2} extends the cached tree upward: valid.
+  EXPECT_TRUE(cache.is_valid_positive_changeset(std::vector<NodeId>{2}));
+  // {1} would cache a node whose child 2 is absent: invalid.
+  EXPECT_FALSE(cache.is_valid_positive_changeset(std::vector<NodeId>{1}));
+  // {1, 2} together: valid.
+  EXPECT_TRUE(cache.is_valid_positive_changeset(std::vector<NodeId>{1, 2}));
+  // Already cached node: invalid.
+  EXPECT_FALSE(cache.is_valid_positive_changeset(std::vector<NodeId>{3}));
+  // Empty: invalid.
+  EXPECT_FALSE(cache.is_valid_positive_changeset(std::vector<NodeId>{}));
+  // Duplicates: invalid.
+  EXPECT_FALSE(cache.is_valid_positive_changeset(std::vector<NodeId>{2, 2}));
+}
+
+TEST(Subforest, NegativeChangesetValidity) {
+  const Tree t = trees::path(4);
+  const Subforest cache = path_cache_suffix(t, 2);  // {2, 3} cached
+  // Evicting the top of the cached tree: valid.
+  EXPECT_TRUE(cache.is_valid_negative_changeset(std::vector<NodeId>{2}));
+  EXPECT_TRUE(cache.is_valid_negative_changeset(std::vector<NodeId>{2, 3}));
+  // Evicting a node while keeping its cached ancestor: invalid.
+  EXPECT_FALSE(cache.is_valid_negative_changeset(std::vector<NodeId>{3}));
+  // Evicting a non-cached node: invalid.
+  EXPECT_FALSE(cache.is_valid_negative_changeset(std::vector<NodeId>{1}));
+  EXPECT_FALSE(cache.is_valid_negative_changeset(std::vector<NodeId>{}));
+}
+
+TEST(Subforest, EnumerationMatchesManualCountOnPath) {
+  // Path of 4, cache {2,3}. Valid positive changesets: {1}? no (child 2
+  // cached — yes it is! 1's only child is 2 which IS cached → {1} valid).
+  const Tree t = trees::path(4);
+  const Subforest cache = path_cache_suffix(t, 2);
+  const auto pos = enumerate_positive_changesets(cache);
+  // Non-cached nodes: {0, 1}. Valid: {1}, {0,1}. ({0} alone: child 1 absent.)
+  EXPECT_EQ(pos.size(), 2u);
+  const auto neg = enumerate_negative_changesets(cache);
+  // Valid: {2}, {2,3}. ({3} alone keeps cached parent 2.)
+  EXPECT_EQ(neg.size(), 2u);
+}
+
+TEST(Subforest, EnumerationCountsOnStar) {
+  const Tree t = trees::star(3);  // root 0, leaves 1..3
+  Subforest cache(t);
+  // Empty cache: valid positive changesets are any non-empty union of
+  // leaves, optionally with the root only when all leaves are included:
+  // 2^3 - 1 leaf combinations + 1 (everything) = 8.
+  const auto pos = enumerate_positive_changesets(cache);
+  EXPECT_EQ(pos.size(), 8u);
+
+  cache.insert(1);
+  cache.insert(2);
+  // Valid negative changesets: subsets of {1,2} → 3.
+  const auto neg = enumerate_negative_changesets(cache);
+  EXPECT_EQ(neg.size(), 3u);
+}
+
+TEST(Subforest, EraseTopDown) {
+  const Tree t = trees::path(3);
+  Subforest cache(t);
+  cache.insert(2);
+  cache.insert(1);
+  cache.insert(0);
+  cache.erase(0);
+  cache.erase(1);
+  EXPECT_TRUE(cache.is_valid());
+  EXPECT_EQ(cache.as_vector(), (std::vector<NodeId>{2}));
+}
+
+TEST(Subforest, RandomChurnKeepsValidity) {
+  Rng rng(123);
+  const Tree t = trees::random_recursive(40, rng);
+  Subforest cache(t);
+  for (int step = 0; step < 2000; ++step) {
+    if (cache.empty() || rng.chance(0.55)) {
+      // fetch a random missing candidate set P(u)
+      const NodeId u = static_cast<NodeId>(rng.below(t.size()));
+      if (cache.contains(u)) continue;
+      const auto missing = cache.missing_subtree(u);
+      ASSERT_TRUE(cache.is_valid_positive_changeset(missing));
+      for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+        cache.insert(*it);
+      }
+    } else {
+      const auto roots = cache.maximal_roots();
+      const NodeId r = rng.pick(roots);
+      // evict the complete subtree T(r)
+      const std::vector<NodeId> subtree = [&] {
+        std::vector<NodeId> out, stack{r};
+        while (!stack.empty()) {
+          const NodeId v = stack.back();
+          stack.pop_back();
+          out.push_back(v);
+          for (const NodeId c : t.children(v)) stack.push_back(c);
+        }
+        return out;
+      }();
+      ASSERT_TRUE(cache.is_valid_negative_changeset(subtree));
+      for (const NodeId v : subtree) cache.erase(v);
+    }
+    ASSERT_TRUE(cache.is_valid());
+  }
+}
+
+}  // namespace
+}  // namespace treecache

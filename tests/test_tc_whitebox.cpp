@@ -1,0 +1,154 @@
+// White-box validation of TC's §6 data structures: the incremental
+// aggregates (cnt(P_t(u)), |P_t(u)|, I(u), S(u)) are recomputed from
+// scratch after every round of random runs and must agree exactly.
+#include <gtest/gtest.h>
+
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+/// Brute-force cnt(P_t(u)) and |P_t(u)| for non-cached u.
+void brute_positive(const TreeCache& tc, NodeId u, std::uint64_t& cnt_out,
+                    std::uint32_t& size_out) {
+  const Tree& tree = tc.tree();
+  cnt_out = 0;
+  size_out = 0;
+  std::vector<NodeId> stack{u};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    cnt_out += tc.counter(v);
+    ++size_out;
+    for (const NodeId c : tree.children(v)) {
+      if (!tc.cache().contains(c)) stack.push_back(c);
+    }
+  }
+}
+
+/// Brute-force (I, S) of the best tree cap rooted at cached x.
+std::pair<std::int64_t, std::uint64_t> brute_negative(const TreeCache& tc,
+                                                      NodeId x) {
+  const Tree& tree = tc.tree();
+  std::int64_t i_value = static_cast<std::int64_t>(tc.counter(x)) -
+                         static_cast<std::int64_t>(tc.config().alpha);
+  std::uint64_t s_value = 1;
+  for (const NodeId c : tree.children(x)) {
+    const auto [ci, cs] = brute_negative(tc, c);
+    if (ci >= 0) {
+      i_value += ci;
+      s_value += cs;
+    }
+  }
+  return {i_value, s_value};
+}
+
+void check_all_aggregates(const TreeCache& tc) {
+  const Tree& tree = tc.tree();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (tc.cache().contains(u)) {
+      const auto [i_value, s_value] = brute_negative(tc, u);
+      ASSERT_EQ(tc.debug_hI(u), i_value) << "I(" << u << ")";
+      ASSERT_EQ(tc.debug_hS(u), s_value) << "S(" << u << ")";
+    } else {
+      std::uint64_t cnt = 0;
+      std::uint32_t size = 0;
+      brute_positive(tc, u, cnt, size);
+      ASSERT_EQ(static_cast<std::uint64_t>(tc.debug_pcnt(u)), cnt)
+          << "cnt(P(" << u << "))";
+      ASSERT_EQ(tc.debug_psize(u), size) << "|P(" << u << ")|";
+    }
+  }
+}
+
+class TcWhitebox : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcWhitebox, AggregatesMatchBruteForceEveryRound) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 7919 + 13);
+  const Tree tree = (seed % 3 == 0)   ? trees::random_recursive(25, rng)
+                    : (seed % 3 == 1) ? trees::random_bounded_degree(25, 2, rng)
+                                      : trees::caterpillar(5, 3);
+  const std::uint64_t alpha = 1 + rng.below(4);
+  const std::size_t capacity = 1 + rng.below(tree.size());
+  const Trace trace = workload::uniform_trace(tree, 600, 0.45, rng);
+
+  TreeCache tc(tree, {.alpha = alpha, .capacity = capacity});
+  for (const Request& r : trace) {
+    tc.step(r);
+    check_all_aggregates(tc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcWhitebox, ::testing::Range(1, 13));
+
+TEST(TcWhitebox, WorkCounterGrowsAndBoundsHold) {
+  // The Theorem 6.1 work counter is monotone and bounded per request by
+  // O(h + max(h, deg) * |X|). Verify a crude per-round bound on a run.
+  Rng rng(3);
+  const Tree tree = trees::random_recursive(200, rng);
+  const Trace trace = workload::uniform_trace(tree, 3000, 0.4, rng);
+  TreeCache tc(tree, {.alpha = 3, .capacity = 30});
+  std::uint64_t previous = 0;
+  const std::uint64_t h = tree.height();
+  const std::uint64_t deg = tree.max_degree();
+  for (const Request& r : trace) {
+    const StepOutcome out = tc.step(r);
+    const std::uint64_t spent = tc.work() - previous;
+    previous = tc.work();
+    const std::uint64_t moved = out.changed.size() + out.aborted_fetch.size();
+    // Constant 6 covers the implementation's bookkeeping passes.
+    EXPECT_LE(spent, 6 * (h + std::max(h, deg) * (moved + 1)))
+        << "round work exceeds the Theorem 6.1 shape";
+  }
+}
+
+TEST(TcWhitebox, PhaseStatsConsistentWithOutcomes) {
+  Rng rng(5);
+  const Tree tree = trees::random_recursive(40, rng);
+  const Trace trace = workload::uniform_trace(tree, 4000, 0.35, rng);
+  TreeCache tc(tree, {.alpha = 2, .capacity = 6});
+  std::uint64_t fetched = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t restarts = 0;
+  for (const Request& r : trace) {
+    const StepOutcome out = tc.step(r);
+    switch (out.change) {
+      case ChangeKind::kFetch:
+        fetched += out.changed.size();
+        break;
+      case ChangeKind::kEvict:
+        evicted += out.changed.size();
+        break;
+      case ChangeKind::kPhaseRestart:
+        ++restarts;
+        break;
+      case ChangeKind::kNone:
+        break;
+    }
+  }
+  std::uint64_t phase_fetched = 0;
+  std::uint64_t phase_evicted = 0;
+  std::uint64_t finished = 0;
+  for (const PhaseStats& p : tc.phases()) {
+    phase_fetched += p.fetches;
+    phase_evicted += p.evictions;
+    finished += p.finished ? 1 : 0;
+  }
+  EXPECT_EQ(phase_fetched, fetched);
+  EXPECT_EQ(phase_evicted, evicted);
+  EXPECT_EQ(finished, restarts);
+  EXPECT_EQ(tc.phases().size(), restarts + 1);
+  // Every finished phase overflowed the capacity.
+  for (const PhaseStats& p : tc.phases()) {
+    if (p.finished) {
+      EXPECT_GE(p.k_end, tc.config().capacity + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treecache

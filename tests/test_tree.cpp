@@ -1,0 +1,199 @@
+// Unit tests for the Tree substrate: construction, derived quantities,
+// generators, serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tree/tree.hpp"
+#include "tree/tree_builder.hpp"
+#include "tree/tree_io.hpp"
+#include "util/rng.hpp"
+
+namespace treecache {
+namespace {
+
+TEST(Tree, SingleNode) {
+  const Tree t({kNoNode});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.subtree_size(0), 1u);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_EQ(t.max_degree(), 0u);
+}
+
+TEST(Tree, PathShape) {
+  const Tree t = trees::path(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.height(), 5u);
+  EXPECT_EQ(t.max_degree(), 1u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(t.depth(v), v);
+    EXPECT_EQ(t.subtree_size(v), 5 - v);
+  }
+  EXPECT_TRUE(t.is_ancestor_or_self(0, 4));
+  EXPECT_TRUE(t.is_ancestor_or_self(2, 2));
+  EXPECT_FALSE(t.is_ancestor_or_self(3, 1));
+}
+
+TEST(Tree, StarShape) {
+  const Tree t = trees::star(7);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.max_degree(), 7u);
+  EXPECT_EQ(t.leaves().size(), 7u);
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_EQ(t.parent(v), 0u);
+    EXPECT_EQ(t.subtree_size(v), 1u);
+  }
+}
+
+TEST(Tree, CompleteBinary) {
+  const Tree t = trees::complete_kary(4, 2);
+  EXPECT_EQ(t.size(), 15u);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(t.height(), 4u);
+  EXPECT_EQ(t.max_degree(), 2u);
+  EXPECT_EQ(t.subtree_size(t.root()), 15u);
+  EXPECT_EQ(t.leaves().size(), 8u);
+}
+
+TEST(Tree, CaterpillarShape) {
+  const Tree t = trees::caterpillar(4, 3);
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.height(), 5u);  // spine of 4 plus a leaf level
+  EXPECT_EQ(t.max_degree(), 4u);  // spine child + 3 legs
+}
+
+TEST(Tree, SpiderShape) {
+  const Tree t = trees::spider(3, 4);
+  EXPECT_EQ(t.size(), 13u);
+  EXPECT_EQ(t.height(), 5u);
+  EXPECT_EQ(t.max_degree(), 3u);
+  EXPECT_EQ(t.leaves().size(), 3u);
+}
+
+TEST(Tree, PreorderParentsFirst) {
+  Rng rng(42);
+  const Tree t = trees::random_recursive(200, rng);
+  std::vector<std::uint32_t> position(t.size());
+  const auto pre = t.preorder();
+  for (std::size_t i = 0; i < pre.size(); ++i) position[pre[i]] = static_cast<std::uint32_t>(i);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (v != t.root()) {
+      EXPECT_LT(position[t.parent(v)], position[v]);
+    }
+  }
+}
+
+TEST(Tree, PostorderChildrenFirst) {
+  Rng rng(7);
+  const Tree t = trees::random_recursive(200, rng);
+  std::vector<std::uint32_t> position(t.size());
+  const auto post = t.postorder();
+  for (std::size_t i = 0; i < post.size(); ++i) position[post[i]] = static_cast<std::uint32_t>(i);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (v != t.root()) {
+      EXPECT_GT(position[t.parent(v)], position[v]);
+    }
+  }
+}
+
+TEST(Tree, SubtreeSizesSumOverChildren) {
+  Rng rng(3);
+  const Tree t = trees::random_bounded_degree(300, 4, rng);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    std::uint32_t sum = 1;
+    for (const NodeId c : t.children(v)) sum += t.subtree_size(c);
+    EXPECT_EQ(t.subtree_size(v), sum);
+    EXPECT_LE(t.num_children(v), 4u);
+  }
+}
+
+TEST(Tree, AncestorQueriesAgreeWithPathWalk) {
+  Rng rng(11);
+  const Tree t = trees::random_recursive(60, rng);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId d = 0; d < t.size(); ++d) {
+      const auto path = t.path_to_root(d);
+      const bool expected =
+          std::find(path.begin(), path.end(), a) != path.end();
+      EXPECT_EQ(t.is_ancestor_or_self(a, d), expected)
+          << "a=" << a << " d=" << d;
+    }
+  }
+}
+
+TEST(Tree, BoundedHeightGeneratorRespectsBound) {
+  Rng rng(5);
+  for (const std::size_t h : {2u, 3u, 6u}) {
+    const Tree t = trees::random_bounded_height(50, h, rng);
+    EXPECT_LE(t.height(), h);
+  }
+  // Height 1 only admits a single node; more must be rejected.
+  const Tree single = trees::random_bounded_height(1, 1, rng);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_THROW(trees::random_bounded_height(2, 1, rng), CheckFailure);
+}
+
+TEST(Tree, RejectsMultipleRoots) {
+  EXPECT_THROW(Tree({kNoNode, kNoNode}), CheckFailure);
+}
+
+TEST(Tree, RejectsCycle) {
+  // 1 -> 2 -> 1 cycle, 0 is the root.
+  EXPECT_THROW(Tree({kNoNode, 2, 1}), CheckFailure);
+}
+
+TEST(Tree, RejectsSelfParent) {
+  EXPECT_THROW(Tree({kNoNode, 1}), CheckFailure);
+}
+
+TEST(Tree, RejectsOutOfRangeParent) {
+  EXPECT_THROW(Tree({kNoNode, 5}), CheckFailure);
+}
+
+TEST(TreeIo, ParentStringRoundTrip) {
+  Rng rng(9);
+  const Tree t = trees::random_recursive(40, rng);
+  const std::string text = to_parent_string(t);
+  const Tree back = from_parent_string(text);
+  EXPECT_EQ(back.parent_array(), t.parent_array());
+}
+
+TEST(TreeIo, FromParentStringRejectsGarbage) {
+  EXPECT_THROW(from_parent_string("-1 0 x"), CheckFailure);
+  EXPECT_THROW(from_parent_string(""), CheckFailure);
+  EXPECT_THROW(from_parent_string("-2"), CheckFailure);
+}
+
+TEST(TreeIo, AsciiContainsEveryNode) {
+  const Tree t = trees::caterpillar(3, 2);
+  const std::string art = to_ascii(t);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_NE(art.find(std::to_string(v)), std::string::npos);
+  }
+}
+
+TEST(TreeIo, DotHasOneEdgePerNonRoot) {
+  const Tree t = trees::complete_kary(3, 2);
+  const std::string dot = to_dot(t);
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, t.size() - 1);
+}
+
+TEST(TwoSubtreeGadget, Shape) {
+  const Tree t = trees::two_subtree_gadget(4);
+  // root + two full binary subtrees of size 7.
+  EXPECT_EQ(t.size(), 15u);
+  EXPECT_EQ(t.num_children(0), 2u);
+  EXPECT_EQ(t.subtree_size(1), 7u);
+  EXPECT_EQ(t.subtree_size(8), 7u);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -1,0 +1,155 @@
+// Workload generators: distributional sanity, structural validity, and the
+// paging adversary / lifting machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/paging.hpp"
+#include "core/tree_cache.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/adversary.hpp"
+#include "workload/generators.hpp"
+#include "workload/zipf.hpp"
+
+namespace treecache {
+namespace {
+
+TEST(Zipf, UniformWhenSkewZero) {
+  Rng rng(1);
+  const ZipfSampler sampler(4, 0.0);
+  std::array<std::size_t, 4> hits{};
+  for (int i = 0; i < 40000; ++i) ++hits[sampler.sample(rng)];
+  for (const std::size_t h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(Zipf, PmfMatchesEmpiricalFrequencies) {
+  Rng rng(2);
+  const ZipfSampler sampler(6, 1.2);
+  std::array<std::size_t, 6> hits{};
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) ++hits[sampler.sample(rng)];
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_NEAR(static_cast<double>(hits[r]) / draws, sampler.pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+  const ZipfSampler flat(100, 0.5);
+  const ZipfSampler steep(100, 2.0);
+  EXPECT_LT(flat.pmf(0), steep.pmf(0));
+  EXPECT_GT(flat.pmf(99), steep.pmf(99));
+}
+
+TEST(Zipf, WeightsAreMonotone) {
+  const auto w = zipf_weights(50, 1.0);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(Generators, TracesStayInRange) {
+  Rng rng(3);
+  const Tree t = trees::random_recursive(40, rng);
+  for (const Trace& trace :
+       {workload::uniform_trace(t, 500, 0.5, rng),
+        workload::zipf_trace(t, 500, 1.0, 0.2, rng),
+        workload::zipf_leaf_trace(t, 500, 1.0, 0.2, rng),
+        workload::hotspot_trace(t, 500, 0.05, 0.2, rng),
+        workload::update_churn_trace(t, 500, 1.0, 8, 0.1, rng)}) {
+    EXPECT_EQ(trace.size(), 500u);
+    for (const Request& r : trace) EXPECT_LT(r.node, t.size());
+  }
+}
+
+TEST(Generators, LeafTraceOnlyTouchesLeaves) {
+  Rng rng(4);
+  const Tree t = trees::caterpillar(5, 3);
+  const Trace trace = workload::zipf_leaf_trace(t, 300, 1.0, 0.0, rng);
+  for (const Request& r : trace) {
+    EXPECT_TRUE(t.is_leaf(r.node));
+    EXPECT_EQ(r.sign, Sign::kPositive);
+  }
+}
+
+TEST(Generators, NegativeFractionRoughlyHonored) {
+  Rng rng(5);
+  const Tree t = trees::star(10);
+  const Trace trace = workload::uniform_trace(t, 20000, 0.3, rng);
+  const auto s = stats(trace, t.size());
+  EXPECT_NEAR(static_cast<double>(s.negatives) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Generators, UpdateChurnUsesAlphaChunks) {
+  Rng rng(6);
+  const Tree t = trees::star(5);
+  const std::uint64_t alpha = 6;
+  const Trace trace =
+      workload::update_churn_trace(t, 600, 1.0, alpha, 0.2, rng);
+  // Negative requests appear in runs of alpha to the same node (the final
+  // chunk may be truncated at the trace end).
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    if (trace[i].sign == Sign::kPositive) {
+      ++i;
+      continue;
+    }
+    std::size_t run = 1;
+    while (i + run < trace.size() && trace[i + run] == trace[i]) ++run;
+    EXPECT_TRUE(run % alpha == 0 || i + run == trace.size())
+        << "at index " << i;
+    i += run;
+  }
+}
+
+TEST(Adversary, LiftAndChunkRoundTrip) {
+  const std::vector<PageId> pages{0, 2, 1, 2, 0};
+  const Trace lifted = workload::lift_paging_sequence(pages, 3);
+  EXPECT_EQ(lifted.size(), 15u);
+  EXPECT_EQ(lifted[0], positive(1));  // page p -> leaf p+1
+  EXPECT_EQ(workload::chunk_pages(lifted, 3), pages);
+}
+
+TEST(Adversary, AlwaysRequestsUncachedLeaf) {
+  Rng rng(7);
+  const std::size_t k = 4;
+  const Tree star = trees::star(k + 1);
+  TreeCache tc(star, {.alpha = 4, .capacity = k});
+  const Trace trace = workload::run_paging_adversary(tc, star, 4, 100);
+  EXPECT_EQ(trace.size(), 400u);
+  // Every chunk targets a leaf; TC pays for every single request
+  // (the adversary's defining property).
+  EXPECT_EQ(tc.cost().service, 400u);
+}
+
+TEST(Adversary, ForcesOmegaKRatioAgainstPaging) {
+  // Classic Sleator–Tarjan: with k+1 pages, LRU faults every request while
+  // OPT faults at most once per k requests.
+  const std::size_t k = 5;
+  LruPaging lru(k);
+  std::vector<PageId> seq;
+  for (int i = 0; i < 500; ++i) {
+    PageId victim = 0;
+    while (lru.cached(victim)) ++victim;
+    seq.push_back(victim);
+    lru.access(victim);
+  }
+  EXPECT_EQ(lru.faults(), 500u);
+  const std::uint64_t opt = belady_faults(seq, k);
+  // Asymptotically OPT faults once per k requests; allow small-instance
+  // slack around the 500/k = 100 ideal.
+  EXPECT_LE(opt, 500u / (k - 1));
+  EXPECT_GE(lru.faults(), (k - 1) * opt);
+}
+
+TEST(Adversary, RejectsNonStarTrees) {
+  const Tree path = trees::path(4);
+  TreeCache tc(path, {.alpha = 2, .capacity = 2});
+  EXPECT_THROW(
+      (void)workload::run_paging_adversary(tc, path, 2, 3), CheckFailure);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -1,0 +1,282 @@
+// treecache — command-line interface to the library.
+//
+// Subcommands:
+//   gen-tree   --shape path|star|kary|caterpillar|spider|random|randomdeg
+//              --nodes N [--arity A] [--levels L] [--seed S]
+//              [--out tree.txt]
+//   gen-rib    --rules N [--deagg D] [--seed S] [--out tree.txt]
+//              [--prefixes prefixes.txt]
+//   gen-trace  --tree tree.txt --kind uniform|zipf|zipfleaf|hotspot|churn
+//              --length N [--skew Z] [--neg F] [--alpha A] [--update-prob P]
+//              [--seed S] [--out trace.txt]
+//   run        --tree tree.txt --trace trace.txt --alg tc|naive|lru|lruinv|
+//              local|none --alpha A --capacity K [--validate]
+//   opt        --tree tree.txt --trace trace.txt --alpha A --capacity K
+//   fields     --tree tree.txt --trace trace.txt --alpha A --capacity K
+//              [--render N]
+//
+// Files: trees are whitespace-separated parent lists (root = -1); traces
+// are one request per line ("+12" / "-3"); both match tree_io/trace I/O.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "analysis/opt_bound.hpp"
+#include "baselines/local_tc.hpp"
+#include "baselines/lru_closure.hpp"
+#include "baselines/never_cache.hpp"
+#include "baselines/opt_offline.hpp"
+#include "core/field_tracker.hpp"
+#include "core/naive_tree_cache.hpp"
+#include "core/tree_cache.hpp"
+#include "fib/rib_gen.hpp"
+#include "fib/rule_tree.hpp"
+#include "sim/simulator.hpp"
+#include "tools/flags.hpp"
+#include "tree/tree_builder.hpp"
+#include "tree/tree_io.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache::tools {
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: treecache <gen-tree|gen-rib|gen-trace|run|opt|fields> "
+         "[--flags]\n"
+         "see the header of tools/treecache_cli.cpp for the full list\n";
+  return 2;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path);
+  TC_CHECK(static_cast<bool>(out), "cannot open " + path);
+  out << text;
+}
+
+Tree load_tree(const Flags& flags) {
+  const std::string path = flags.get("tree", "");
+  TC_CHECK(!path.empty(), "--tree is required");
+  std::ifstream in(path);
+  TC_CHECK(static_cast<bool>(in), "cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return from_parent_string(buffer.str());
+}
+
+Trace load_trace_file(const Flags& flags, std::size_t tree_size) {
+  const std::string path = flags.get("trace", "");
+  TC_CHECK(!path.empty(), "--trace is required");
+  std::ifstream in(path);
+  TC_CHECK(static_cast<bool>(in), "cannot open " + path);
+  return load_trace(in, tree_size);
+}
+
+int cmd_gen_tree(const Flags& flags) {
+  const std::string shape = flags.get("shape", "random");
+  const std::size_t nodes = flags.get_u64("nodes", 1000);
+  Rng rng(flags.get_u64("seed", 1));
+  Tree tree = [&]() -> Tree {
+    if (shape == "path") return trees::path(nodes);
+    if (shape == "star") return trees::star(nodes - 1);
+    if (shape == "kary") {
+      return trees::complete_kary(flags.get_u64("levels", 4),
+                                  flags.get_u64("arity", 2));
+    }
+    if (shape == "caterpillar") {
+      return trees::caterpillar(flags.get_u64("levels", 8),
+                                flags.get_u64("arity", 3));
+    }
+    if (shape == "spider") {
+      return trees::spider(flags.get_u64("arity", 8),
+                           flags.get_u64("levels", 16));
+    }
+    if (shape == "random") return trees::random_recursive(nodes, rng);
+    if (shape == "randomdeg") {
+      return trees::random_bounded_degree(nodes, flags.get_u64("arity", 3),
+                                          rng);
+    }
+    throw CheckFailure("unknown --shape " + shape);
+  }();
+  write_text(flags.get("out", "-"), to_parent_string(tree) + "\n");
+  std::cerr << "tree: " << tree.size() << " nodes, height " << tree.height()
+            << ", max degree " << tree.max_degree() << "\n";
+  return 0;
+}
+
+int cmd_gen_rib(const Flags& flags) {
+  Rng rng(flags.get_u64("seed", 1));
+  const fib::RibConfig config{
+      .rules = flags.get_u64("rules", 10000),
+      .deaggregation = flags.get_double("deagg", 0.45),
+      .max_length = static_cast<std::uint8_t>(flags.get_u64("max-len", 24))};
+  const auto rib = fib::generate_rib(config, rng);
+  const fib::RuleTree rt = fib::build_rule_tree(rib);
+  write_text(flags.get("out", "-"), to_parent_string(rt.tree) + "\n");
+  if (flags.has("prefixes")) {
+    std::string text;
+    for (NodeId v = 0; v < rt.tree.size(); ++v) {
+      text += rt.prefix[v].to_string() + "\n";
+    }
+    write_text(flags.get("prefixes", "-"), text);
+  }
+  std::cerr << "rule tree: " << rt.tree.size() << " nodes, height "
+            << rt.tree.height() << "\n";
+  return 0;
+}
+
+int cmd_gen_trace(const Flags& flags) {
+  const Tree tree = load_tree(flags);
+  Rng rng(flags.get_u64("seed", 1));
+  const std::string kind = flags.get("kind", "zipf");
+  const std::size_t length = flags.get_u64("length", 100000);
+  const double skew = flags.get_double("skew", 1.0);
+  const double neg = flags.get_double("neg", 0.2);
+  const Trace trace = [&]() -> Trace {
+    if (kind == "uniform") {
+      return workload::uniform_trace(tree, length, neg, rng);
+    }
+    if (kind == "zipf") {
+      return workload::zipf_trace(tree, length, skew, neg, rng);
+    }
+    if (kind == "zipfleaf") {
+      return workload::zipf_leaf_trace(tree, length, skew, neg, rng);
+    }
+    if (kind == "hotspot") {
+      return workload::hotspot_trace(
+          tree, length, flags.get_double("move-prob", 0.01), neg, rng);
+    }
+    if (kind == "churn") {
+      return workload::update_churn_trace(
+          tree, length, skew, flags.get_u64("alpha", 16),
+          flags.get_double("update-prob", 0.05), rng);
+    }
+    throw CheckFailure("unknown --kind " + kind);
+  }();
+  std::ostringstream out;
+  save_trace(out, trace);
+  write_text(flags.get("out", "-"), out.str());
+  const auto s = stats(trace, tree.size());
+  std::cerr << "trace: " << trace.size() << " requests (" << s.positives
+            << " positive, " << s.negatives << " negative)\n";
+  return 0;
+}
+
+int cmd_run(const Flags& flags) {
+  const Tree tree = load_tree(flags);
+  const Trace trace = load_trace_file(flags, tree.size());
+  const std::uint64_t alpha = flags.get_u64("alpha", 16);
+  const std::size_t capacity = flags.get_u64("capacity", 64);
+  const std::string name = flags.get("alg", "tc");
+
+  std::unique_ptr<OnlineAlgorithm> alg;
+  if (name == "tc") {
+    alg = std::make_unique<TreeCache>(
+        tree, TreeCacheConfig{.alpha = alpha, .capacity = capacity});
+  } else if (name == "naive") {
+    alg = std::make_unique<NaiveTreeCache>(
+        tree, NaiveTreeCacheConfig{.alpha = alpha, .capacity = capacity});
+  } else if (name == "lru") {
+    alg = std::make_unique<LruClosure>(
+        tree, LruClosureConfig{.alpha = alpha, .capacity = capacity});
+  } else if (name == "lruinv") {
+    alg = std::make_unique<LruClosure>(
+        tree, LruClosureConfig{.alpha = alpha,
+                               .capacity = capacity,
+                               .evict_on_negative = true});
+  } else if (name == "local") {
+    alg = std::make_unique<LocalTc>(
+        tree, LocalTcConfig{.alpha = alpha, .capacity = capacity});
+  } else if (name == "none") {
+    alg = std::make_unique<NeverCache>(tree);
+  } else {
+    throw CheckFailure("unknown --alg " + name);
+  }
+
+  const auto result =
+      sim::run_trace(*alg, trace, {}, flags.has("validate"));
+  std::cout << "algorithm:       " << alg->name() << "\n"
+            << "rounds:          " << result.rounds << "\n"
+            << "service cost:    " << result.cost.service << "\n"
+            << "reorg cost:      " << result.cost.reorg << "\n"
+            << "total cost:      " << result.cost.total() << "\n"
+            << "paid positives:  " << result.paid_positive << "\n"
+            << "paid negatives:  " << result.paid_negative << "\n"
+            << "fetched nodes:   " << result.fetched_nodes << "\n"
+            << "evicted nodes:   " << result.evicted_nodes << "\n"
+            << "phase restarts:  " << result.phase_restarts << "\n"
+            << "max cache size:  " << result.max_cache_size << "\n"
+            << "final cache:     " << result.final_cache_size << "\n";
+  return 0;
+}
+
+int cmd_opt(const Flags& flags) {
+  const Tree tree = load_tree(flags);
+  const Trace trace = load_trace_file(flags, tree.size());
+  const std::uint64_t cost = opt_offline_cost(
+      tree, trace,
+      {.alpha = flags.get_u64("alpha", 16),
+       .capacity = flags.get_u64("capacity", 4)});
+  std::cout << "exact offline optimum: " << cost << "\n";
+  return 0;
+}
+
+int cmd_fields(const Flags& flags) {
+  const Tree tree = load_tree(flags);
+  const Trace trace = load_trace_file(flags, tree.size());
+  const std::uint64_t alpha = flags.get_u64("alpha", 16);
+  const std::size_t capacity = flags.get_u64("capacity", 64);
+
+  TreeCache tc(tree, {.alpha = alpha, .capacity = capacity});
+  FieldTracker tracker(tree, alpha);
+  for (const Request& r : trace) tracker.observe(r, tc.step(r));
+  tracker.finalize();
+  tracker.verify_period_accounting();
+  tracker.verify_lemma_5_3(alpha);
+
+  std::size_t positive = 0;
+  for (const Field& f : tracker.fields()) positive += f.positive() ? 1u : 0u;
+  std::cout << "TC cost:   " << tc.cost().total() << "\n"
+            << "fields:    " << tracker.fields().size() << " (" << positive
+            << " positive)\n"
+            << "phases:    " << tracker.phases().size() << "\n"
+            << "certified OPT lower bound (k_opt = capacity): "
+            << analysis::certified_opt_lower_bound(
+                   tracker, tree.height(),
+                   {.alpha = alpha, .k_opt = capacity})
+            << "\n";
+  if (flags.has("render")) {
+    std::cout << tracker.render_event_space(flags.get_u64("render", 160));
+  }
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "gen-tree") return cmd_gen_tree(flags);
+  if (command == "gen-rib") return cmd_gen_rib(flags);
+  if (command == "gen-trace") return cmd_gen_trace(flags);
+  if (command == "run") return cmd_run(flags);
+  if (command == "opt") return cmd_opt(flags);
+  if (command == "fields") return cmd_fields(flags);
+  return usage();
+}
+
+}  // namespace
+}  // namespace treecache::tools
+
+int main(int argc, char** argv) {
+  try {
+    return treecache::tools::dispatch(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
