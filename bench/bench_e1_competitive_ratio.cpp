@@ -7,9 +7,9 @@
 #include <string>
 #include <vector>
 
-#include "baselines/opt_offline.hpp"
-#include "core/tree_cache.hpp"
+#include "sim/bench_env.hpp"
 #include "sim/metrics.hpp"
+#include "sim/registry.hpp"
 #include "sim/reporting.hpp"
 #include "sim/sweep.hpp"
 #include "tree/tree_builder.hpp"
@@ -25,13 +25,18 @@ struct Measurement {
   double bound_fraction = 0.0;  // ratio / (h * R)
 };
 
+/// TC and the exact-OPT evaluator both resolve through the registry, so the
+/// experiment keeps working if either implementation is swapped out.
 Measurement measure(const Tree& tree, std::uint64_t alpha, std::size_t k,
                     Rng& rng) {
+  sim::Params params;
+  params.set("alpha", std::to_string(alpha));
+  params.set("capacity", std::to_string(k));
   const Trace trace = workload::uniform_trace(tree, 400, 0.4, rng);
-  TreeCache tc(tree, {.alpha = alpha, .capacity = k});
-  const std::uint64_t online = tc.run(trace).total();
+  const std::uint64_t online =
+      sim::make_algorithm("tc", tree, params)->run(trace).total();
   const std::uint64_t opt =
-      opt_offline_cost(tree, trace, {.alpha = alpha, .capacity = k});
+      sim::evaluate_offline("opt", tree, trace, params);
   Measurement m;
   m.ratio = opt == 0 ? 1.0
                      : static_cast<double>(online) / static_cast<double>(opt);
@@ -65,7 +70,7 @@ int main() {
       std::vector<double> ratios;
       std::vector<double> fractions;
       std::uint32_t height = 0;
-      const std::size_t reps = 24;
+      const std::size_t reps = sim::bench_reps(24);
       const auto results = sim::parallel_sweep<Measurement>(
           reps, 1000 + sc.n * 7 + alpha, [&](std::size_t, Rng& rng) {
             Rng tree_rng = rng.split();
@@ -119,7 +124,7 @@ int main() {
     const Tree tree = trees::spider(legs, leg_len);
     std::vector<double> ratios;
     const auto results = sim::parallel_sweep<Measurement>(
-        24, 77 + legs, [&](std::size_t, Rng& rng) {
+        sim::bench_reps(24), 77 + legs, [&](std::size_t, Rng& rng) {
           return measure(tree, 2, 4, rng);
         });
     for (const auto& m : results) ratios.push_back(m.ratio);

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/tree_cache.hpp"
+#include "sim/bench_env.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
 #include "workload/generators.hpp"
@@ -15,6 +16,10 @@
 using namespace treecache;
 
 namespace {
+
+/// Trace length: 64Ki requests at paper scale, shrunk by
+/// $TREECACHE_BENCH_SCALE for the CI smoke tier.
+std::size_t trace_length() { return sim::bench_scaled(1 << 16); }
 
 /// Drives TC over a pre-generated trace, reporting ns and work per request.
 void run_tc(benchmark::State& state, const Tree& tree, const Trace& trace,
@@ -39,7 +44,7 @@ void BM_TreeSizeFixedHeight(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(42);
   const Tree tree = trees::random_bounded_height(n, 8, rng);
-  const Trace trace = workload::zipf_trace(tree, 1 << 16, 0.9, 0.3, rng);
+  const Trace trace = workload::zipf_trace(tree, trace_length(), 0.9, 0.3, rng);
   run_tc(state, tree, trace, 8, n / 8);
 }
 BENCHMARK(BM_TreeSizeFixedHeight)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
@@ -50,7 +55,7 @@ void BM_HeightSweep(benchmark::State& state) {
   const std::size_t legs = 4096 / leg;
   Rng rng(7);
   const Tree tree = trees::spider(legs, leg);
-  const Trace trace = workload::zipf_trace(tree, 1 << 16, 0.9, 0.3, rng);
+  const Trace trace = workload::zipf_trace(tree, trace_length(), 0.9, 0.3, rng);
   run_tc(state, tree, trace, 8, tree.size() / 4);
 }
 BENCHMARK(BM_HeightSweep)->RangeMultiplier(4)->Range(4, 1024);
@@ -61,7 +66,7 @@ void BM_DegreeSweep(benchmark::State& state) {
   Rng rng(9);
   // Three levels with the given arity: degree = arity, height = 3.
   const Tree tree = trees::complete_kary(3, arity);
-  const Trace trace = workload::zipf_trace(tree, 1 << 16, 0.9, 0.3, rng);
+  const Trace trace = workload::zipf_trace(tree, trace_length(), 0.9, 0.3, rng);
   run_tc(state, tree, trace, 8, tree.size() / 4);
 }
 BENCHMARK(BM_DegreeSweep)->RangeMultiplier(4)->Range(4, 256);

@@ -1,6 +1,9 @@
 #include "baselines/local_tc.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "sim/registry.hpp"
 
 namespace treecache {
 
@@ -89,5 +92,16 @@ StepOutcome LocalTc::handle_negative(NodeId v) {
   out.changed = changeset_;
   return out;
 }
+
+namespace {
+const sim::AlgorithmRegistrar kRegisterLocal{
+    "local",
+    "greedy single-node variant of TC (no changeset saturation)",
+    [](const Tree& tree, const sim::Params& p) {
+      return std::make_unique<LocalTc>(
+          tree,
+          LocalTcConfig{.alpha = p.alpha(), .capacity = p.capacity()});
+    }};
+}  // namespace
 
 }  // namespace treecache

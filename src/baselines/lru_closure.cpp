@@ -1,6 +1,9 @@
 #include "baselines/lru_closure.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "sim/registry.hpp"
 
 namespace treecache {
 
@@ -122,5 +125,26 @@ StepOutcome LruClosure::handle_negative(NodeId v) {
   out.changed = changeset_;
   return out;
 }
+
+namespace {
+LruClosureConfig lru_config(const sim::Params& p, bool evict_on_negative) {
+  return LruClosureConfig{.alpha = p.alpha(),
+                          .capacity = p.capacity(),
+                          .evict_on_negative = evict_on_negative};
+}
+
+const sim::AlgorithmRegistrar kRegisterLru{
+    "lru", "ancestor-closure LRU (fetches root paths, evicts leaf-first)",
+    [](const Tree& tree, const sim::Params& p) {
+      return std::make_unique<LruClosure>(tree, lru_config(p, false));
+    }};
+
+const sim::AlgorithmRegistrar kRegisterLruInv{
+    "lruinv",
+    "LRU-closure that also evicts on paid negative requests",
+    [](const Tree& tree, const sim::Params& p) {
+      return std::make_unique<LruClosure>(tree, lru_config(p, true));
+    }};
+}  // namespace
 
 }  // namespace treecache

@@ -1,0 +1,17 @@
+#include "baselines/never_cache.hpp"
+
+#include <memory>
+
+#include "sim/registry.hpp"
+
+namespace treecache {
+namespace {
+
+const sim::AlgorithmRegistrar kRegisterNone{
+    "none", "empty-cache baseline: pays 1 per positive request",
+    [](const Tree& tree, const sim::Params&) {
+      return std::make_unique<NeverCache>(tree);
+    }};
+
+}  // namespace
+}  // namespace treecache

@@ -4,6 +4,8 @@
 #include <bit>
 #include <limits>
 
+#include "sim/registry.hpp"
+
 namespace treecache {
 
 namespace {
@@ -122,5 +124,15 @@ std::uint64_t opt_offline_cost_bruteforce(const Tree& tree, const Trace& trace,
   }
   return best;
 }
+
+namespace {
+const sim::OfflineEvaluatorRegistrar kRegisterOpt{
+    "opt", "exact offline optimum (bitmask DP, tree.size() <= 20)",
+    [](const Tree& tree, const Trace& trace, const sim::Params& p) {
+      return opt_offline_cost(tree, trace,
+                              OptOfflineConfig{.alpha = p.alpha(),
+                                               .capacity = p.capacity()});
+    }};
+}  // namespace
 
 }  // namespace treecache

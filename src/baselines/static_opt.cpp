@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/registry.hpp"
+
 namespace treecache {
 
 namespace {
@@ -207,5 +209,17 @@ StaticOptResult best_static_subforest_bruteforce(
   }
   return best;
 }
+
+namespace {
+const sim::OfflineEvaluatorRegistrar kRegisterStatic{
+    "static",
+    "optimal static subforest (tree-knapsack DP) evaluated on the trace",
+    [](const Tree& tree, const Trace& trace, const sim::Params& p) {
+      const auto weights = positive_weights(tree, trace);
+      const auto chosen =
+          best_static_subforest(tree, weights, p.capacity());
+      return static_cache_cost(tree, trace, p.alpha(), chosen);
+    }};
+}  // namespace
 
 }  // namespace treecache

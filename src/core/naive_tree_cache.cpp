@@ -1,6 +1,9 @@
 #include "core/naive_tree_cache.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "sim/registry.hpp"
 
 namespace treecache {
 
@@ -157,5 +160,16 @@ StepOutcome NaiveTreeCache::handle_negative(NodeId v) {
 void NaiveTreeCache::start_new_phase() {
   std::fill(cnt_.begin(), cnt_.end(), std::uint64_t{0});
 }
+
+namespace {
+const sim::AlgorithmRegistrar kRegisterNaive{
+    "naive",
+    "reference TC implementation: re-scans all changesets every round",
+    [](const Tree& tree, const sim::Params& p) {
+      return std::make_unique<NaiveTreeCache>(
+          tree, NaiveTreeCacheConfig{.alpha = p.alpha(),
+                                     .capacity = p.capacity()});
+    }};
+}  // namespace
 
 }  // namespace treecache

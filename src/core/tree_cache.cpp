@@ -1,6 +1,9 @@
 #include "core/tree_cache.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "sim/registry.hpp"
 
 namespace treecache {
 
@@ -316,5 +319,15 @@ void TreeCache::phase_restart(std::uint32_t aborted_fetch_size) {
   cached_below_.reset_all();
   phases_.push_back(PhaseStats{.first_round = round_ + 1});
 }
+
+namespace {
+const sim::AlgorithmRegistrar kRegisterTc{
+    "tc", "the paper's O(h)-competitive counter algorithm (Section 3)",
+    [](const Tree& tree, const sim::Params& p) {
+      return std::make_unique<TreeCache>(
+          tree,
+          TreeCacheConfig{.alpha = p.alpha(), .capacity = p.capacity()});
+    }};
+}  // namespace
 
 }  // namespace treecache

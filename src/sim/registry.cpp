@@ -1,0 +1,128 @@
+#include "sim/registry.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace treecache::sim {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    TC_CHECK(used == text.size(), "trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw CheckFailure("parameter " + key + "=" + text +
+                       " is not an unsigned integer");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    TC_CHECK(used == text.size(), "trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw CheckFailure("parameter " + key + "=" + text + " is not a number");
+  }
+}
+
+}  // namespace
+
+std::uint64_t Params::get_u64(const std::string& key,
+                              std::uint64_t fallback) const {
+  return has(key) ? parse_u64(key, get(key, "")) : fallback;
+}
+
+double Params::get_double(const std::string& key, double fallback) const {
+  return has(key) ? parse_double(key, get(key, "")) : fallback;
+}
+
+template <typename Factory>
+Registry<Factory>& Registry<Factory>::instance() {
+  // Function-local static: safely initialized on first use, including from
+  // the static registrars that run during program load.
+  static Registry registry;
+  return registry;
+}
+
+template <typename Factory>
+void Registry<Factory>::add(const std::string& name, std::string summary,
+                            Factory factory) {
+  TC_CHECK(!name.empty(), "registry names must be non-empty");
+  const bool inserted =
+      entries_
+          .emplace(name, Entry{std::move(summary), std::move(factory)})
+          .second;
+  TC_CHECK(inserted, "duplicate registration of '" + name + "'");
+}
+
+template <typename Factory>
+const Factory& Registry<Factory>::at(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      known += known.empty() ? key : ", " + key;
+    }
+    throw CheckFailure("unknown name '" + name + "' (registered: " + known +
+                       ")");
+  }
+  return it->second.factory;
+}
+
+template <typename Factory>
+const std::string& Registry<Factory>::summary(const std::string& name) const {
+  const auto it = entries_.find(name);
+  TC_CHECK(it != entries_.end(), "unknown name '" + name + "'");
+  return it->second.summary;
+}
+
+template <typename Factory>
+std::vector<std::string> Registry<Factory>::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) result.push_back(key);
+  return result;
+}
+
+template <typename Factory>
+std::string Registry<Factory>::describe() const {
+  std::string text;
+  for (const auto& [key, entry] : entries_) {
+    text += "  " + key + " — " + entry.summary + "\n";
+  }
+  return text;
+}
+
+template class Registry<AlgorithmFactory>;
+template class Registry<WorkloadFactory>;
+template class Registry<OfflineEvaluatorFactory>;
+template class Registry<PagingFactory>;
+
+std::unique_ptr<OnlineAlgorithm> make_algorithm(const std::string& name,
+                                                const Tree& tree,
+                                                const Params& params) {
+  return AlgorithmRegistry::instance().at(name)(tree, params);
+}
+
+Trace make_workload(const std::string& name, const Tree& tree,
+                    const Params& params, Rng& rng) {
+  return WorkloadRegistry::instance().at(name)(tree, params, rng);
+}
+
+std::uint64_t evaluate_offline(const std::string& name, const Tree& tree,
+                               const Trace& trace, const Params& params) {
+  return OfflineEvaluatorRegistry::instance().at(name)(tree, trace, params);
+}
+
+std::unique_ptr<PagingAlgorithm> make_paging(const std::string& name,
+                                             std::size_t k) {
+  return PagingRegistry::instance().at(name)(k);
+}
+
+}  // namespace treecache::sim

@@ -1,0 +1,181 @@
+// Registry-driven simulator core.
+//
+// Online algorithms, workload generators, offline evaluators and paging
+// policies self-register behind name-keyed factories, so the simulator, the
+// CLI, parameter sweeps and the benchmark harness all resolve
+// algorithm × workload × parameter grids from one table instead of
+// hand-wired #include lists.
+//
+// Adding a new algorithm takes three steps and touches only its own files:
+//   1. implement `class MyAlg final : public OnlineAlgorithm` anywhere;
+//   2. in my_alg.cpp, add a translation-unit-local registrar:
+//        namespace {
+//        const sim::AlgorithmRegistrar kReg{
+//            "myalg", "one-line summary",
+//            [](const Tree& t, const sim::Params& p) {
+//              return std::make_unique<MyAlg>(t, p.alpha(), p.capacity());
+//            }};
+//        }  // namespace
+//   3. list my_alg.cpp in src/CMakeLists.txt.
+// No edits to src/sim/ or tools/ are required; `treecache_cli run
+// --alg myalg` and tests/test_registry.cpp pick it up automatically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/paging.hpp"
+#include "core/online_algorithm.hpp"
+#include "core/trace.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::sim {
+
+/// Uniform string-keyed parameter bag passed to every factory. Common knobs
+/// (alpha, capacity, length, ...) have typed accessors with the library-wide
+/// defaults; algorithm-specific knobs go through the generic getters, so a
+/// factory can consume CLI flags or sweep-grid axes without a bespoke
+/// config struct per registration.
+class Params {
+ public:
+  Params() = default;
+  explicit Params(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
+
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  // The two knobs every tree-caching algorithm shares.
+  [[nodiscard]] std::uint64_t alpha() const { return get_u64("alpha", 16); }
+  [[nodiscard]] std::size_t capacity() const {
+    return get_u64("capacity", 64);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Builds an online algorithm over `tree` configured from `params`.
+using AlgorithmFactory = std::function<std::unique_ptr<OnlineAlgorithm>(
+    const Tree& tree, const Params& params)>;
+
+/// Generates a request trace over `tree` from `params` ("length", "skew",
+/// "neg", ...) using the caller's RNG stream.
+using WorkloadFactory =
+    std::function<Trace(const Tree& tree, const Params& params, Rng& rng)>;
+
+/// Computes an offline cost/bound for a (tree, trace) instance — exact
+/// offline optimum, static-cache optimum, etc.
+using OfflineEvaluatorFactory = std::function<std::uint64_t(
+    const Tree& tree, const Trace& trace, const Params& params)>;
+
+/// Builds a classic paging policy with capacity k (Appendix C reduction).
+using PagingFactory =
+    std::function<std::unique_ptr<PagingAlgorithm>(std::size_t k)>;
+
+/// One generic name → factory table. Keys are unique; lookups throw
+/// CheckFailure listing the registered names on a miss.
+template <typename Factory>
+class Registry {
+ public:
+  struct Entry {
+    std::string summary;
+    Factory factory;
+  };
+
+  /// The process-wide table for this factory kind.
+  static Registry& instance();
+
+  void add(const std::string& name, std::string summary, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.contains(name);
+  }
+
+  /// The factory registered under `name`; throws CheckFailure if absent.
+  [[nodiscard]] const Factory& at(const std::string& name) const;
+
+  [[nodiscard]] const std::string& summary(const std::string& name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// "name — summary" lines for --help output.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+using AlgorithmRegistry = Registry<AlgorithmFactory>;
+using WorkloadRegistry = Registry<WorkloadFactory>;
+using OfflineEvaluatorRegistry = Registry<OfflineEvaluatorFactory>;
+using PagingRegistry = Registry<PagingFactory>;
+
+/// Convenience lookups: resolve a name and invoke the factory.
+[[nodiscard]] std::unique_ptr<OnlineAlgorithm> make_algorithm(
+    const std::string& name, const Tree& tree, const Params& params);
+[[nodiscard]] Trace make_workload(const std::string& name, const Tree& tree,
+                                  const Params& params, Rng& rng);
+[[nodiscard]] std::uint64_t evaluate_offline(const std::string& name,
+                                             const Tree& tree,
+                                             const Trace& trace,
+                                             const Params& params);
+[[nodiscard]] std::unique_ptr<PagingAlgorithm> make_paging(
+    const std::string& name, std::size_t k);
+
+/// Static registrars: declare one as a namespace-local const in the
+/// component's own .cpp to self-register at load time.
+struct AlgorithmRegistrar {
+  AlgorithmRegistrar(const std::string& name, std::string summary,
+                     AlgorithmFactory factory) {
+    AlgorithmRegistry::instance().add(name, std::move(summary),
+                                      std::move(factory));
+  }
+};
+
+struct WorkloadRegistrar {
+  WorkloadRegistrar(const std::string& name, std::string summary,
+                    WorkloadFactory factory) {
+    WorkloadRegistry::instance().add(name, std::move(summary),
+                                     std::move(factory));
+  }
+};
+
+struct OfflineEvaluatorRegistrar {
+  OfflineEvaluatorRegistrar(const std::string& name, std::string summary,
+                            OfflineEvaluatorFactory factory) {
+    OfflineEvaluatorRegistry::instance().add(name, std::move(summary),
+                                             std::move(factory));
+  }
+};
+
+struct PagingRegistrar {
+  PagingRegistrar(const std::string& name, std::string summary,
+                  PagingFactory factory) {
+    PagingRegistry::instance().add(name, std::move(summary),
+                                   std::move(factory));
+  }
+};
+
+}  // namespace treecache::sim

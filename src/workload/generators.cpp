@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sim/registry.hpp"
 #include "workload/zipf.hpp"
 
 namespace treecache::workload {
@@ -108,5 +109,51 @@ Trace update_churn_trace(const Tree& tree, std::size_t length, double skew,
   }
   return trace;
 }
+
+// Registry adapters. Shared parameter keys: length (default 100000),
+// neg (negative fraction, 0.2), skew (Zipf exponent, 1.0); per-workload
+// keys are named after the matching CLI flags.
+namespace {
+
+const sim::WorkloadRegistrar kRegisterUniform{
+    "uniform", "uniformly random nodes, Bernoulli(neg) negative requests",
+    [](const Tree& tree, const sim::Params& p, Rng& rng) {
+      return uniform_trace(tree, p.get_u64("length", 100000),
+                           p.get_double("neg", 0.2), rng);
+    }};
+
+const sim::WorkloadRegistrar kRegisterZipf{
+    "zipf", "Zipf(skew)-popular nodes over a random rank permutation",
+    [](const Tree& tree, const sim::Params& p, Rng& rng) {
+      return zipf_trace(tree, p.get_u64("length", 100000),
+                        p.get_double("skew", 1.0), p.get_double("neg", 0.2),
+                        rng);
+    }};
+
+const sim::WorkloadRegistrar kRegisterZipfLeaf{
+    "zipfleaf", "Zipf over leaves only (FIB-like most-specific traffic)",
+    [](const Tree& tree, const sim::Params& p, Rng& rng) {
+      return zipf_leaf_trace(tree, p.get_u64("length", 100000),
+                             p.get_double("skew", 1.0),
+                             p.get_double("neg", 0.2), rng);
+    }};
+
+const sim::WorkloadRegistrar kRegisterHotspot{
+    "hotspot", "moving-hotspot subtree with per-request jump probability",
+    [](const Tree& tree, const sim::Params& p, Rng& rng) {
+      return hotspot_trace(tree, p.get_u64("length", 100000),
+                           p.get_double("move-prob", 0.01),
+                           p.get_double("neg", 0.2), rng);
+    }};
+
+const sim::WorkloadRegistrar kRegisterChurn{
+    "churn", "Zipf traffic interleaved with alpha-chunk rule updates",
+    [](const Tree& tree, const sim::Params& p, Rng& rng) {
+      return update_churn_trace(tree, p.get_u64("length", 100000),
+                                p.get_double("skew", 1.0), p.alpha(),
+                                p.get_double("update-prob", 0.05), rng);
+    }};
+
+}  // namespace
 
 }  // namespace treecache::workload

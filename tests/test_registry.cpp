@@ -1,0 +1,157 @@
+// The registry is the extension point every future policy/workload PR plugs
+// into, so these tests enumerate it exhaustively: every registered algorithm
+// must run cleanly against a smoke workload, and every registered workload
+// must produce a valid trace.
+#include "sim/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+
+namespace treecache {
+namespace {
+
+sim::Params smoke_params() {
+  sim::Params p;
+  p.set("alpha", "2");
+  p.set("capacity", "6");
+  p.set("length", "200");
+  return p;
+}
+
+TEST(Registry, ExpectedAlgorithmsAreRegistered) {
+  const auto names = sim::AlgorithmRegistry::instance().names();
+  for (const char* expected :
+       {"tc", "naive", "local", "lru", "lruinv", "none"}) {
+    EXPECT_TRUE(std::ranges::count(names, expected) == 1)
+        << "missing algorithm registration: " << expected;
+  }
+}
+
+TEST(Registry, ExpectedWorkloadsAreRegistered) {
+  const auto names = sim::WorkloadRegistry::instance().names();
+  for (const char* expected :
+       {"uniform", "zipf", "zipfleaf", "hotspot", "churn"}) {
+    EXPECT_TRUE(std::ranges::count(names, expected) == 1)
+        << "missing workload registration: " << expected;
+  }
+}
+
+TEST(Registry, ExpectedOfflineEvaluatorsAreRegistered) {
+  const auto names = sim::OfflineEvaluatorRegistry::instance().names();
+  for (const char* expected : {"opt", "static"}) {
+    EXPECT_TRUE(std::ranges::count(names, expected) == 1)
+        << "missing offline evaluator registration: " << expected;
+  }
+}
+
+TEST(Registry, ExpectedPagingPoliciesAreRegistered) {
+  const auto names = sim::PagingRegistry::instance().names();
+  for (const char* expected : {"lru", "fifo", "fwf"}) {
+    EXPECT_TRUE(std::ranges::count(names, expected) == 1)
+        << "missing paging registration: " << expected;
+  }
+}
+
+// Every algorithm × a smoke workload: one simulator run must complete with
+// the subforest invariant validated after every step.
+TEST(Registry, EveryAlgorithmRunsOneSmokeTrace) {
+  Rng rng(7);
+  const Tree tree = trees::random_recursive(24, rng);
+  const sim::Params params = smoke_params();
+  const Trace trace = sim::make_workload("zipf", tree, params, rng);
+  ASSERT_FALSE(trace.empty());
+
+  for (const std::string& name :
+       sim::AlgorithmRegistry::instance().names()) {
+    SCOPED_TRACE("algorithm: " + name);
+    auto alg = sim::make_algorithm(name, tree, params);
+    ASSERT_NE(alg, nullptr);
+    EXPECT_FALSE(alg->name().empty());
+
+    // One explicit step runs cleanly...
+    const StepOutcome outcome = alg->step(trace.front());
+    EXPECT_LE(outcome.service_cost(), 1u);
+
+    // ...and so does a whole validated trace from a fresh state.
+    alg->reset();
+    EXPECT_EQ(alg->cost().total(), 0u);
+    const auto result =
+        sim::run_trace(*alg, trace, {}, /*validate_every_step=*/true);
+    EXPECT_EQ(result.rounds, trace.size());
+    EXPECT_EQ(result.cost.total(), alg->cost().total());
+  }
+}
+
+TEST(Registry, EveryWorkloadProducesAValidTrace) {
+  Rng rng(11);
+  const Tree tree = trees::random_recursive(40, rng);
+  const sim::Params params = smoke_params();
+
+  for (const std::string& name :
+       sim::WorkloadRegistry::instance().names()) {
+    SCOPED_TRACE("workload: " + name);
+    const Trace trace = sim::make_workload(name, tree, params, rng);
+    EXPECT_FALSE(trace.empty());
+    for (const Request& r : trace) {
+      ASSERT_LT(r.node, tree.size());
+    }
+  }
+}
+
+TEST(Registry, UnknownNamesThrowWithSuggestions) {
+  Rng rng(1);
+  const Tree tree = trees::path(4);
+  EXPECT_THROW((void)sim::make_algorithm("nope", tree, {}), CheckFailure);
+  EXPECT_THROW((void)sim::make_workload("nope", tree, {}, rng),
+               CheckFailure);
+  EXPECT_THROW((void)sim::evaluate_offline("nope", tree, {}, {}),
+               CheckFailure);
+  EXPECT_THROW((void)sim::make_paging("nope", 4), CheckFailure);
+}
+
+TEST(Registry, DuplicateRegistrationIsRejected) {
+  EXPECT_THROW(sim::AlgorithmRegistry::instance().add(
+                   "tc", "dup",
+                   [](const Tree&, const sim::Params&)
+                       -> std::unique_ptr<OnlineAlgorithm> {
+                     return nullptr;
+                   }),
+               CheckFailure);
+}
+
+TEST(Registry, ParamsParseAndDefault) {
+  sim::Params p;
+  p.set("alpha", "3");
+  p.set("skew", "0.9");
+  EXPECT_EQ(p.alpha(), 3u);
+  EXPECT_EQ(p.capacity(), 64u);  // library default
+  EXPECT_DOUBLE_EQ(p.get_double("skew", 1.0), 0.9);
+  EXPECT_EQ(p.get("missing", "x"), "x");
+  p.set("alpha", "junk");
+  EXPECT_THROW((void)p.alpha(), CheckFailure);
+}
+
+TEST(Registry, OfflineEvaluatorsAgreeWithDirectCalls) {
+  Rng rng(3);
+  const Tree tree = trees::complete_kary(2, 2);  // 7 nodes
+  sim::Params params;
+  params.set("alpha", "2");
+  params.set("capacity", "3");
+  const Trace trace = sim::make_workload(
+      "uniform", tree,
+      sim::Params{{{"length", "40"}, {"neg", "0.3"}}}, rng);
+  const std::uint64_t opt =
+      sim::evaluate_offline("opt", tree, trace, params);
+  EXPECT_GT(opt, 0u);
+  // A legal online algorithm can never beat the offline optimum.
+  auto tc = sim::make_algorithm("tc", tree, params);
+  EXPECT_GE(tc->run(trace).total(), opt);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -18,11 +18,11 @@ class Flags {
       std::string key = argv[i];
       TC_CHECK(key.rfind("--", 0) == 0, "expected --flag, got " + key);
       key = key.substr(2);
+      std::string value = "1";
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "1";
+        value = argv[++i];
       }
+      values_.insert_or_assign(std::move(key), std::move(value));
     }
   }
 
@@ -39,13 +39,29 @@ class Flags {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoull(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoull(it->second);
+    } catch (const std::exception&) {
+      throw CheckFailure("--" + key + " " + it->second +
+                         " is not an unsigned integer");
+    }
   }
 
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw CheckFailure("--" + key + " " + it->second + " is not a number");
+    }
+  }
+
+  /// All parsed flags, e.g. to seed a sim::Params with every --key value.
+  [[nodiscard]] const std::map<std::string, std::string>& all() const {
+    return values_;
   }
 
  private:

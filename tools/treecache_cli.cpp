@@ -1,17 +1,27 @@
 // treecache — command-line interface to the library.
 //
+// Algorithms, workloads and offline evaluators resolve by name through
+// sim/registry.hpp; `treecache list` prints everything that is registered.
+// Adding a policy or generator to the library makes it available here with
+// no CLI changes.
+//
 // Subcommands:
+//   list       prints the registered algorithms / workloads / evaluators
 //   gen-tree   --shape path|star|kary|caterpillar|spider|random|randomdeg
 //              --nodes N [--arity A] [--levels L] [--seed S]
 //              [--out tree.txt]
 //   gen-rib    --rules N [--deagg D] [--seed S] [--out tree.txt]
 //              [--prefixes prefixes.txt]
-//   gen-trace  --tree tree.txt --kind uniform|zipf|zipfleaf|hotspot|churn
-//              --length N [--skew Z] [--neg F] [--alpha A] [--update-prob P]
-//              [--seed S] [--out trace.txt]
-//   run        --tree tree.txt --trace trace.txt --alg tc|naive|lru|lruinv|
-//              local|none --alpha A --capacity K [--validate]
+//   gen-trace  --tree tree.txt --kind <workload> --length N [--skew Z]
+//              [--neg F] [--alpha A] [--update-prob P] [--seed S]
+//              [--out trace.txt]
+//   run        --tree tree.txt --algo <algorithm> --alpha A --capacity K
+//              (--trace trace.txt | --workload <workload> [--length N ...])
+//              [--seed S] [--validate]
+//   sweep      --tree tree.txt --algos a,b,... --workloads w1,w2,...
+//              [shared params] [--seed S]
 //   opt        --tree tree.txt --trace trace.txt --alpha A --capacity K
+//              [--evaluator opt|static]
 //   fields     --tree tree.txt --trace trace.txt --alpha A --capacity K
 //              [--render N]
 //
@@ -23,30 +33,54 @@
 #include <sstream>
 
 #include "analysis/opt_bound.hpp"
-#include "baselines/local_tc.hpp"
-#include "baselines/lru_closure.hpp"
-#include "baselines/never_cache.hpp"
-#include "baselines/opt_offline.hpp"
 #include "core/field_tracker.hpp"
-#include "core/naive_tree_cache.hpp"
-#include "core/tree_cache.hpp"
+#include "core/tree_cache.hpp"  // `fields` instruments TC specifically
 #include "fib/rib_gen.hpp"
 #include "fib/rule_tree.hpp"
+#include "sim/registry.hpp"
+#include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "tools/flags.hpp"
 #include "tree/tree_builder.hpp"
 #include "tree/tree_io.hpp"
-#include "workload/generators.hpp"
+#include "util/table.hpp"
 
 namespace treecache::tools {
 namespace {
 
 int usage() {
   std::cerr
-      << "usage: treecache <gen-tree|gen-rib|gen-trace|run|opt|fields> "
-         "[--flags]\n"
+      << "usage: treecache <list|gen-tree|gen-rib|gen-trace|run|sweep|opt|"
+         "fields> [--flags]\n"
          "see the header of tools/treecache_cli.cpp for the full list\n";
   return 2;
+}
+
+/// Every --key value forwarded verbatim, so registry factories see their
+/// own knobs without CLI plumbing per parameter.
+sim::Params params_from(const Flags& flags) {
+  return sim::Params(flags.all());
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  for (std::string item; std::getline(ss, item, ',');) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_list() {
+  std::cout << "online algorithms (--algo):\n"
+            << sim::AlgorithmRegistry::instance().describe()
+            << "workloads (--workload / gen-trace --kind):\n"
+            << sim::WorkloadRegistry::instance().describe()
+            << "offline evaluators (opt --evaluator):\n"
+            << sim::OfflineEvaluatorRegistry::instance().describe()
+            << "paging policies (Appendix C reduction):\n"
+            << sim::PagingRegistry::instance().describe();
+  return 0;
 }
 
 void write_text(const std::string& path, const std::string& text) {
@@ -133,31 +167,8 @@ int cmd_gen_rib(const Flags& flags) {
 int cmd_gen_trace(const Flags& flags) {
   const Tree tree = load_tree(flags);
   Rng rng(flags.get_u64("seed", 1));
-  const std::string kind = flags.get("kind", "zipf");
-  const std::size_t length = flags.get_u64("length", 100000);
-  const double skew = flags.get_double("skew", 1.0);
-  const double neg = flags.get_double("neg", 0.2);
-  const Trace trace = [&]() -> Trace {
-    if (kind == "uniform") {
-      return workload::uniform_trace(tree, length, neg, rng);
-    }
-    if (kind == "zipf") {
-      return workload::zipf_trace(tree, length, skew, neg, rng);
-    }
-    if (kind == "zipfleaf") {
-      return workload::zipf_leaf_trace(tree, length, skew, neg, rng);
-    }
-    if (kind == "hotspot") {
-      return workload::hotspot_trace(
-          tree, length, flags.get_double("move-prob", 0.01), neg, rng);
-    }
-    if (kind == "churn") {
-      return workload::update_churn_trace(
-          tree, length, skew, flags.get_u64("alpha", 16),
-          flags.get_double("update-prob", 0.05), rng);
-    }
-    throw CheckFailure("unknown --kind " + kind);
-  }();
+  const Trace trace = sim::make_workload(flags.get("kind", "zipf"), tree,
+                                         params_from(flags), rng);
   std::ostringstream out;
   save_trace(out, trace);
   write_text(flags.get("out", "-"), out.str());
@@ -169,34 +180,23 @@ int cmd_gen_trace(const Flags& flags) {
 
 int cmd_run(const Flags& flags) {
   const Tree tree = load_tree(flags);
-  const Trace trace = load_trace_file(flags, tree.size());
-  const std::uint64_t alpha = flags.get_u64("alpha", 16);
-  const std::size_t capacity = flags.get_u64("capacity", 64);
-  const std::string name = flags.get("alg", "tc");
+  const sim::Params params = params_from(flags);
+  // --algo resolves through the registry (--alg kept as an alias).
+  const std::string name = flags.get("algo", flags.get("alg", "tc"));
+  const auto alg = sim::make_algorithm(name, tree, params);
 
-  std::unique_ptr<OnlineAlgorithm> alg;
-  if (name == "tc") {
-    alg = std::make_unique<TreeCache>(
-        tree, TreeCacheConfig{.alpha = alpha, .capacity = capacity});
-  } else if (name == "naive") {
-    alg = std::make_unique<NaiveTreeCache>(
-        tree, NaiveTreeCacheConfig{.alpha = alpha, .capacity = capacity});
-  } else if (name == "lru") {
-    alg = std::make_unique<LruClosure>(
-        tree, LruClosureConfig{.alpha = alpha, .capacity = capacity});
-  } else if (name == "lruinv") {
-    alg = std::make_unique<LruClosure>(
-        tree, LruClosureConfig{.alpha = alpha,
-                               .capacity = capacity,
-                               .evict_on_negative = true});
-  } else if (name == "local") {
-    alg = std::make_unique<LocalTc>(
-        tree, LocalTcConfig{.alpha = alpha, .capacity = capacity});
-  } else if (name == "none") {
-    alg = std::make_unique<NeverCache>(tree);
-  } else {
-    throw CheckFailure("unknown --alg " + name);
-  }
+  // The trace comes from a file or is generated through the workload
+  // registry (--workload <name>, parameterized by the same flags).
+  TC_CHECK(!(flags.has("trace") && flags.has("workload")),
+           "--trace and --workload are mutually exclusive");
+  const Trace trace = [&]() -> Trace {
+    if (flags.has("workload")) {
+      Rng rng(flags.get_u64("seed", 1));
+      return sim::make_workload(flags.get("workload", ""), tree, params,
+                                rng);
+    }
+    return load_trace_file(flags, tree.size());
+  }();
 
   const auto result =
       sim::run_trace(*alg, trace, {}, flags.has("validate"));
@@ -218,11 +218,35 @@ int cmd_run(const Flags& flags) {
 int cmd_opt(const Flags& flags) {
   const Tree tree = load_tree(flags);
   const Trace trace = load_trace_file(flags, tree.size());
-  const std::uint64_t cost = opt_offline_cost(
-      tree, trace,
-      {.alpha = flags.get_u64("alpha", 16),
-       .capacity = flags.get_u64("capacity", 4)});
-  std::cout << "exact offline optimum: " << cost << "\n";
+  const std::string evaluator = flags.get("evaluator", "opt");
+  sim::Params params = params_from(flags);
+  if (!flags.has("capacity")) params.set("capacity", "4");
+  const std::uint64_t cost =
+      sim::evaluate_offline(evaluator, tree, trace, params);
+  std::cout << "offline bound (" << evaluator << "): " << cost << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Flags& flags) {
+  const Tree tree = load_tree(flags);
+  const auto algorithms = split_csv(flags.get(
+      "algos", "tc,naive,local,lru,lruinv,none"));
+  const auto workloads = split_csv(flags.get("workloads", "zipf,uniform"));
+  sim::Params base = params_from(flags);
+  if (!flags.has("length")) base.set("length", "20000");
+  const auto cells = sim::run_grid(tree, algorithms, workloads, base,
+                                   flags.get_u64("seed", 1));
+  ConsoleTable table({"algorithm", "workload", "service", "reorg", "total",
+                      "restarts", "max cache"});
+  for (const auto& cell : cells) {
+    table.add_row({cell.scenario.algorithm, cell.scenario.workload,
+                   ConsoleTable::fmt(cell.run.cost.service),
+                   ConsoleTable::fmt(cell.run.cost.reorg),
+                   ConsoleTable::fmt(cell.run.cost.total()),
+                   ConsoleTable::fmt(cell.run.phase_restarts),
+                   ConsoleTable::fmt(std::uint64_t{cell.run.max_cache_size})});
+  }
+  table.print();
   return 0;
 }
 
@@ -259,11 +283,13 @@ int cmd_fields(const Flags& flags) {
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "list") return cmd_list();
   const Flags flags(argc, argv, 2);
   if (command == "gen-tree") return cmd_gen_tree(flags);
   if (command == "gen-rib") return cmd_gen_rib(flags);
   if (command == "gen-trace") return cmd_gen_trace(flags);
   if (command == "run") return cmd_run(flags);
+  if (command == "sweep") return cmd_sweep(flags);
   if (command == "opt") return cmd_opt(flags);
   if (command == "fields") return cmd_fields(flags);
   return usage();
