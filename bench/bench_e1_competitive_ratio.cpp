@@ -13,6 +13,7 @@
 #include "sim/reporting.hpp"
 #include "sim/sweep.hpp"
 #include "tree/tree_builder.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
@@ -49,9 +50,12 @@ Measurement measure(const Tree& tree, std::uint64_t alpha, std::size_t k,
 }  // namespace
 
 int main() {
+  const char* kTitle =
+      "Theorem 5.15 — measured competitive ratio vs exact OPT";
   sim::print_experiment_banner(
-      "E1", "Theorem 5.15 — measured competitive ratio vs exact OPT",
+      "E1", kTitle,
       "TC(I) <= O(h(T) * k/(k-k_OPT+1)) * Opt(I) + const");
+  util::Json json_rows = util::Json::array();
 
   struct ShapeCase {
     std::string name;
@@ -107,6 +111,16 @@ int main() {
                         ConsoleTable::fmt(rs.mean, 2),
                         ConsoleTable::fmt(rs.max, 2),
                         ConsoleTable::fmt(fs.max, 3)});
+      json_rows.push(util::Json::object()
+                         .set("table", "by_shape")
+                         .set("shape", sc.name)
+                         .set("n", std::uint64_t{sc.n})
+                         .set("height", std::uint64_t{height})
+                         .set("alpha", alpha)
+                         .set("k", std::uint64_t{sc.k})
+                         .set("mean_ratio", rs.mean)
+                         .set("max_ratio", rs.max)
+                         .set("max_bound_fraction", fs.max));
     }
   }
   by_shape.print();
@@ -136,8 +150,19 @@ int main() {
          ConsoleTable::fmt(std::uint64_t{tree.height()}),
          ConsoleTable::fmt(rs.mean, 2), ConsoleTable::fmt(rs.max, 2),
          ConsoleTable::fmt(rs.mean / base_mean, 2)});
+    json_rows.push(util::Json::object()
+                       .set("table", "by_height")
+                       .set("legs", std::uint64_t{legs})
+                       .set("leg_len", std::uint64_t{leg_len})
+                       .set("height", std::uint64_t{tree.height()})
+                       .set("mean_ratio", rs.mean)
+                       .set("max_ratio", rs.max)
+                       .set("growth_vs_shallowest", rs.mean / base_mean));
   }
   by_height.print();
+  const std::string json_path =
+      sim::write_bench_json("E1", kTitle, std::move(json_rows));
+  if (!json_path.empty()) sim::print_note("json", json_path);
   sim::print_note("reading",
                   "on random inputs the measured ratio does not grow with "
                   "h(T) — consistent with the paper's conjecture (§7) that "

@@ -36,8 +36,16 @@ void TreeCache::reset() {
   phases_.push_back(PhaseStats{.first_round = 1});
   path_.clear();
   changeset_.clear();
-  // h_value_/h_size_ are only read for cached nodes and initialized on
-  // fetch; scratch arrays are kept zeroed by their users.
+  aborted_buf_.clear();
+  stack_.clear();
+  // h_value_/h_size_ are only read for cached nodes and re-initialized on
+  // fetch, and the scratch arrays are kept zeroed by their users — but a
+  // reset instance promises to be indistinguishable from a fresh one, so
+  // clear them instead of relying on those comment-level invariants.
+  std::fill(h_value_.begin(), h_value_.end(), std::int64_t{0});
+  std::fill(h_size_.begin(), h_size_.end(), std::uint64_t{0});
+  std::fill(scratch_count_.begin(), scratch_count_.end(), std::uint32_t{0});
+  std::fill(scratch_mark_.begin(), scratch_mark_.end(), std::uint8_t{0});
 }
 
 StepOutcome TreeCache::step(Request request) {
@@ -252,7 +260,9 @@ void TreeCache::apply_evict(NodeId u) {
     const NodeId x = *it;
     scratch_count_[x] += 1;
     const NodeId p = tree_->parent(x);
-    if (p != kNoNode && scratch_mark_[p]) scratch_count_[p] += scratch_count_[x];
+    if (p != kNoNode && scratch_mark_[p]) {
+      scratch_count_[p] += scratch_count_[x];
+    }
     pcnt_.set(x, 0);
     cached_below_.set(x, tree_->subtree_size(x) - scratch_count_[x]);
     ++work_;

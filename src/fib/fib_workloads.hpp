@@ -1,0 +1,47 @@
+// FIB-derived workloads behind the WorkloadRegistry (the paper's §2
+// application as a registry-resolvable scenario family).
+//
+// A FIB workload is defined over the rule tree of a synthetic RIB, so its
+// whole definition travels in one Params bag: the RIB block (rules, deagg,
+// max-len, rib-seed) names the substrate and the traffic block (length,
+// skew, update-prob, alpha) names the request stream. The substrate is
+// reproducible from the params alone — rule_tree_from_params() rebuilds
+// the exact tree a fib* workload expects (seeded by "rib-seed" only,
+// independent of the traffic seed), and the registered factories verify
+// that the tree they are handed matches it, so a grid cannot silently run
+// FIB traffic on an unrelated tree.
+//
+// Registered names (see the .cpp):
+//   fib        Zipf packet LPM traffic + BGP-style α-chunk updates
+//   fib-stable pure packet traffic (no updates)
+//   fib-churn  update-heavy variant of fib
+#pragma once
+
+#include <string_view>
+
+#include "fib/rib_gen.hpp"
+#include "fib/rule_tree.hpp"
+#include "sim/registry.hpp"
+
+namespace treecache::fib {
+
+/// RIB parameter block shared by the fib* workloads, the `treecache fib`
+/// subcommand and the benches: rules (default 4096), deagg (0.45),
+/// max-len (24).
+[[nodiscard]] RibConfig rib_config_from_params(const sim::Params& params);
+
+/// Deterministically builds the rule tree the fib* workloads with these
+/// params run on. Seeded by "rib-seed" (default 1); the traffic seed never
+/// touches the substrate, so every cell of a sweep shares one table.
+[[nodiscard]] RuleTree rule_tree_from_params(const sim::Params& params);
+
+/// rule_tree_from_params behind a process-wide, thread-safe cache keyed by
+/// the RIB block, so a grid instantiating many fib* cells synthesizes each
+/// substrate once instead of once per cell. Entries live for the process.
+[[nodiscard]] const RuleTree& shared_rule_tree(const sim::Params& params);
+
+/// True for workload names of the FIB family ("fib", "fib-*"), which
+/// require their tree to come from rule_tree_from_params().
+[[nodiscard]] bool is_fib_workload_name(std::string_view name);
+
+}  // namespace treecache::fib

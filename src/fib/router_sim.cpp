@@ -6,6 +6,12 @@ RouterSimResult run_router_sim(const RuleTree& rules, OnlineAlgorithm& alg,
                                const RouterSimConfig& config) {
   TC_CHECK(&alg.cache().tree() == &rules.tree,
            "algorithm must run on the rule tree");
+  // Only packet events advance result.packets, so an update probability of
+  // 1 (or more) would never terminate the event loop.
+  TC_CHECK(config.update_probability >= 0.0 &&
+               config.update_probability < 1.0,
+           "update probability must lie in [0, 1) so packet events can "
+           "finish the run");
   Rng rng(config.seed);
   const PacketSampler sampler(rules, config.zipf_skew, rng);
   RouterSimResult result;
@@ -37,7 +43,12 @@ RouterSimResult run_router_sim(const RuleTree& rules, OnlineAlgorithm& alg,
       if (*cached_match == full_match) {
         ++result.hits;
       } else {
+        // Mis-forwarded. The controller detects the stray flow and detours
+        // it, so the online algorithm sees (and is charged for) the same
+        // positive request a miss would have produced; without it,
+        // mis-forwarded flows would be invisible to the algorithm.
         ++result.forwarding_errors;
+        alg.step(positive(full_match));
       }
     } else {
       // Only the artificial default rule matched: detour via controller.

@@ -11,7 +11,11 @@
 // on every packet that LPM over the cached subforest never resolves to a
 // wrong (less specific) rule — the subforest invariant makes partial FIBs
 // forwarding-correct. Any violation is counted in forwarding_errors (and
-// must be zero).
+// must be zero for every subforest-invariant algorithm). If a violation
+// does occur, the controller detects the stray flow and detours it, so the
+// mis-forwarded packet is charged and reported to the caching algorithm
+// exactly like a miss (a positive request for the full-table match) rather
+// than silently disappearing from the online instance.
 #pragma once
 
 #include <cstdint>
@@ -31,14 +35,21 @@ struct RouterSimConfig {
 };
 
 struct RouterSimResult {
-  std::uint64_t packets = 0;
+  std::uint64_t packets = 0;  // = hits + misses + forwarding_errors
   std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t misses = 0;           // controller detours (no cached match)
   std::uint64_t updates = 0;          // rule-update events
   std::uint64_t cached_updates = 0;   // updates that hit a cached rule
-  std::uint64_t forwarding_errors = 0;  // MUST stay 0
+  /// Packets a cached rule mis-forwarded (then corrected via controller
+  /// detour). MUST stay 0 for subforest-invariant algorithms.
+  std::uint64_t forwarding_errors = 0;
   Cost algorithm_cost;
 
+  [[nodiscard]] double hit_rate() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(packets);
+  }
   [[nodiscard]] double miss_rate() const {
     return packets == 0 ? 0.0
                         : static_cast<double>(misses) /

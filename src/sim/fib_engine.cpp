@@ -1,0 +1,72 @@
+#include "sim/fib_engine.hpp"
+
+#include "fib/fib_workloads.hpp"
+#include "sim/sweep.hpp"
+#include "util/json.hpp"
+
+namespace treecache::sim {
+
+fib::RouterSimConfig fib_router_config(const Params& params,
+                                       std::uint64_t seed) {
+  return fib::RouterSimConfig{
+      .packets = params.get_u64("packets", 100000),
+      .zipf_skew = params.get_double("skew", 1.0),
+      .update_probability = params.get_double("update-prob", 0.01),
+      .alpha = params.alpha(),
+      .seed = seed};
+}
+
+FibScenarioResult run_fib_scenario(const fib::RuleTree& rules,
+                                   const FibScenario& scenario) {
+  const auto alg =
+      make_algorithm(scenario.algorithm, rules.tree, scenario.params);
+  FibScenarioResult out{.scenario = scenario, .router = {}};
+  out.router = fib::run_router_sim(
+      rules, *alg, fib_router_config(scenario.params, scenario.seed));
+  return out;
+}
+
+FibScenarioResult run_fib_scenario(const FibScenario& scenario) {
+  return run_fib_scenario(fib::shared_rule_tree(scenario.params), scenario);
+}
+
+std::vector<FibScenarioResult> run_fib_sweep(const fib::RuleTree& rules,
+                                             const FibSweepAxes& axes,
+                                             const Params& base,
+                                             std::uint64_t seed) {
+  TC_CHECK(!axes.algorithms.empty() && !axes.skews.empty() &&
+               !axes.capacities.empty() && !axes.alphas.empty(),
+           "every sweep axis needs at least one value");
+  // Resolve every name up front so a typo fails before any cell runs.
+  for (const auto& name : axes.algorithms) {
+    (void)AlgorithmRegistry::instance().at(name);
+  }
+  // One traffic seed per (skew, capacity, alpha) point: all algorithms at
+  // a point replay the identical packet/update stream.
+  const std::size_t points =
+      axes.skews.size() * axes.capacities.size() * axes.alphas.size();
+  std::vector<std::uint64_t> point_seeds(points);
+  Rng seeder(seed);
+  for (auto& s : point_seeds) s = seeder();
+
+  const std::size_t cells = axes.algorithms.size() * points;
+  return parallel_sweep<FibScenarioResult>(
+      cells, seed, [&](std::size_t i, Rng&) {
+        const std::size_t point = i % points;
+        const std::size_t alpha_i = point % axes.alphas.size();
+        const std::size_t capacity_i =
+            (point / axes.alphas.size()) % axes.capacities.size();
+        const std::size_t skew_i =
+            point / (axes.alphas.size() * axes.capacities.size());
+        FibScenario cell{.algorithm = axes.algorithms[i / points],
+                         .params = base,
+                         .seed = point_seeds[point]};
+        cell.params.set("skew", util::format_double(axes.skews[skew_i]));
+        cell.params.set("capacity",
+                        std::to_string(axes.capacities[capacity_i]));
+        cell.params.set("alpha", std::to_string(axes.alphas[alpha_i]));
+        return run_fib_scenario(rules, cell);
+      });
+}
+
+}  // namespace treecache::sim

@@ -1,0 +1,65 @@
+// Closed-loop FIB scenario engine — the registry-resolvable face of
+// fib/router_sim (the paper's Figure-1 switch + controller event loop).
+//
+// A FibScenario names an algorithm (AlgorithmRegistry key) and carries one
+// Params bag using the same keys as the registered fib* workloads: the RIB
+// block (rules, deagg, max-len, rib-seed) defines the rule tree and the
+// traffic block (packets, skew, update-prob, alpha) defines the packet and
+// update stream. run_fib_sweep fans algorithm × skew × capacity × alpha
+// grids out through parallel_sweep with pre-derived per-point seeds, so
+// results are deterministic and independent of thread count, and every
+// algorithm at one traffic point sees the identical packet stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fib/router_sim.hpp"
+#include "fib/rule_tree.hpp"
+#include "sim/registry.hpp"
+
+namespace treecache::sim {
+
+struct FibScenario {
+  std::string algorithm;   // AlgorithmRegistry key
+  Params params;           // RIB + traffic + algorithm knobs, one bag
+  std::uint64_t seed = 1;  // traffic seed ("rib-seed" seeds the table)
+};
+
+struct FibScenarioResult {
+  FibScenario scenario;
+  fib::RouterSimResult router;
+};
+
+/// Router configuration from the shared parameter keys: packets (default
+/// 100000), skew (1.0), update-prob (0.01), alpha; `seed` drives traffic.
+[[nodiscard]] fib::RouterSimConfig fib_router_config(const Params& params,
+                                                     std::uint64_t seed);
+
+/// Runs one closed-loop scenario over a prebuilt rule tree. The algorithm
+/// resolves through the registry and is configured from the same params
+/// that configure the router, so its α always matches the update cost.
+[[nodiscard]] FibScenarioResult run_fib_scenario(const fib::RuleTree& rules,
+                                                 const FibScenario& scenario);
+
+/// Convenience overload: builds the rule tree from scenario.params first
+/// (fib::rule_tree_from_params).
+[[nodiscard]] FibScenarioResult run_fib_scenario(const FibScenario& scenario);
+
+/// Sweep axes; every axis needs at least one value. Cells are ordered
+/// algorithm-major, then skew, capacity, alpha (innermost).
+struct FibSweepAxes {
+  std::vector<std::string> algorithms;
+  std::vector<double> skews{1.0};
+  std::vector<std::size_t> capacities{64};
+  std::vector<std::uint64_t> alphas{16};
+};
+
+/// Cross product over `base` params, in parallel. All algorithms at one
+/// (skew, capacity, alpha) point share a traffic seed, so the sweep
+/// compares algorithms on identical packet streams.
+[[nodiscard]] std::vector<FibScenarioResult> run_fib_sweep(
+    const fib::RuleTree& rules, const FibSweepAxes& axes, const Params& base,
+    std::uint64_t seed);
+
+}  // namespace treecache::sim

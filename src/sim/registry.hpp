@@ -71,6 +71,12 @@ class Params {
     return get_u64("capacity", 64);
   }
 
+  /// All key/value pairs, e.g. for serializing the scenario that produced
+  /// a result.
+  [[nodiscard]] const std::map<std::string, std::string>& all() const {
+    return values_;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -1,7 +1,11 @@
 #include "sim/reporting.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace treecache::sim {
 
@@ -24,6 +28,108 @@ void print_note(std::string_view label, std::string_view value) {
   std::printf("  %.*s: %.*s\n", static_cast<int>(label.size()), label.data(),
               static_cast<int>(value.size()), value.data());
   std::fflush(stdout);
+}
+
+namespace {
+
+util::Json params_json(const Params& params) {
+  util::Json out = util::Json::object();
+  for (const auto& [key, value] : params.all()) out.set(key, value);
+  return out;
+}
+
+}  // namespace
+
+util::Json to_json(const RunResult& result) {
+  return util::Json::object()
+      .set("rounds", result.rounds)
+      .set("service_cost", result.cost.service)
+      .set("reorg_cost", result.cost.reorg)
+      .set("total_cost", result.cost.total())
+      .set("paid_requests", result.paid_requests)
+      .set("paid_positive", result.paid_positive)
+      .set("paid_negative", result.paid_negative)
+      .set("fetched_nodes", result.fetched_nodes)
+      .set("evicted_nodes", result.evicted_nodes)
+      .set("phase_restarts", result.phase_restarts)
+      .set("restart_evictions", result.restart_evictions)
+      .set("max_cache_size", std::uint64_t{result.max_cache_size})
+      .set("final_cache_size", std::uint64_t{result.final_cache_size});
+}
+
+util::Json to_json(const Scenario& scenario) {
+  util::Json out = util::Json::object();
+  out.set("algorithm", scenario.algorithm);
+  // Empty means "not driven by a registered workload" (e.g. a CLI run
+  // replaying a trace file, which records a "trace" member instead).
+  if (!scenario.workload.empty()) out.set("workload", scenario.workload);
+  out.set("seed", scenario.seed);
+  out.set("params", params_json(scenario.params));
+  return out;
+}
+
+util::Json scenario_json(const ScenarioResult& result) {
+  return util::Json::object()
+      .set("schema", "treecache.run/1")
+      .set("scenario", to_json(result.scenario))
+      .set("result", to_json(result.run));
+}
+
+util::Json grid_json(const std::vector<ScenarioResult>& cells) {
+  util::Json rows = util::Json::array();
+  for (const ScenarioResult& cell : cells) {
+    rows.push(util::Json::object()
+                  .set("scenario", to_json(cell.scenario))
+                  .set("result", to_json(cell.run)));
+  }
+  return util::Json::object()
+      .set("schema", "treecache.grid/1")
+      .set("cells", std::move(rows));
+}
+
+util::Json to_json(const FibScenarioResult& result) {
+  const fib::RouterSimResult& r = result.router;
+  return util::Json::object()
+      .set("algorithm", result.scenario.algorithm)
+      .set("seed", result.scenario.seed)
+      .set("params", params_json(result.scenario.params))
+      .set("result", util::Json::object()
+                         .set("packets", r.packets)
+                         .set("hits", r.hits)
+                         .set("misses", r.misses)
+                         .set("hit_rate", r.hit_rate())
+                         .set("updates", r.updates)
+                         .set("cached_updates", r.cached_updates)
+                         .set("forwarding_errors", r.forwarding_errors)
+                         .set("service_cost", r.algorithm_cost.service)
+                         .set("reorg_cost", r.algorithm_cost.reorg)
+                         .set("total_cost", r.algorithm_cost.total()));
+}
+
+util::Json fib_sweep_json(const std::vector<FibScenarioResult>& cells) {
+  util::Json rows = util::Json::array();
+  for (const FibScenarioResult& cell : cells) rows.push(to_json(cell));
+  return util::Json::object()
+      .set("schema", "treecache.fib/1")
+      .set("cells", std::move(rows));
+}
+
+std::string write_bench_json(std::string_view id, std::string_view title,
+                             util::Json rows) {
+  const char* dir = std::getenv("TREECACHE_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  TC_CHECK(rows.is_array(), "bench rows must be a JSON array");
+  const util::Json doc = util::Json::object()
+                             .set("schema", "treecache.bench/1")
+                             .set("experiment", std::string(id))
+                             .set("title", std::string(title))
+                             .set("rows", std::move(rows));
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / ("BENCH_" + std::string(id) + ".json"))
+          .string();
+  util::save_json(path, doc);
+  return path;
 }
 
 }  // namespace treecache::sim

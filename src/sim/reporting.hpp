@@ -1,8 +1,24 @@
-// Standardized bench output: every experiment prints a banner naming the
-// paper artifact it reproduces, the claim, and then its table(s).
+// Standardized result output.
+//
+// Console side: every experiment prints a banner naming the paper artifact
+// it reproduces, the claim, and then its table(s).
+//
+// JSON side: machine-readable documents for the CLI (`--json`), the grid
+// engine and the benches. Every top-level document carries a "schema" tag:
+//   treecache.run/1    one scenario        {schema, scenario, result}
+//   treecache.grid/1   algorithm × workload grid    {schema, cells: [...]}
+//   treecache.fib/1    closed-loop FIB sweep        {schema, cells: [...]}
+//   treecache.bench/1  bench table   {schema, experiment, title, rows: [...]}
+// The bench emitter writes BENCH_<id>.json into $TREECACHE_BENCH_JSON_DIR,
+// which is how CI captures the perf trajectory as artifacts.
 #pragma once
 
+#include <string>
 #include <string_view>
+
+#include "sim/fib_engine.hpp"
+#include "sim/scenario.hpp"
+#include "util/json.hpp"
 
 namespace treecache::sim {
 
@@ -14,5 +30,32 @@ void print_experiment_banner(std::string_view id, std::string_view title,
 
 /// Prints a short labelled key-value line ("  <label>: <value>").
 void print_note(std::string_view label, std::string_view value);
+
+/// Cost/accounting object of one simulator run.
+[[nodiscard]] util::Json to_json(const RunResult& result);
+
+/// {algorithm, workload, seed, params} of one scenario.
+[[nodiscard]] util::Json to_json(const Scenario& scenario);
+
+/// Full single-run document (schema treecache.run/1).
+[[nodiscard]] util::Json scenario_json(const ScenarioResult& result);
+
+/// Full grid document over run_grid cells (schema treecache.grid/1).
+[[nodiscard]] util::Json grid_json(const std::vector<ScenarioResult>& cells);
+
+/// One closed-loop FIB cell: {algorithm, seed, params, result}.
+[[nodiscard]] util::Json to_json(const FibScenarioResult& result);
+
+/// Full FIB sweep document (schema treecache.fib/1).
+[[nodiscard]] util::Json fib_sweep_json(
+    const std::vector<FibScenarioResult>& cells);
+
+/// Machine-readable companion to a bench's console tables. When
+/// $TREECACHE_BENCH_JSON_DIR is set, wraps `rows` (an array of row
+/// objects) in the treecache.bench/1 envelope, writes it to
+/// <dir>/BENCH_<id>.json and returns the path; otherwise a no-op
+/// returning "".
+std::string write_bench_json(std::string_view id, std::string_view title,
+                             util::Json rows);
 
 }  // namespace treecache::sim

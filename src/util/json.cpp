@@ -1,0 +1,165 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "util/check.hpp"
+
+namespace treecache::util {
+
+std::string format_double(double value) {
+  TC_CHECK(std::isfinite(value), "cannot format inf/nan");
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  TC_CHECK(ec == std::errc{}, "double does not fit the buffer");
+  return std::string(buffer, end);
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  // JSON has no inf/nan; non-finite values degrade to null.
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  out += format_double(value);
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  TC_CHECK(kind_ == Kind::kObject, "set() requires a Json::object()");
+  for (auto& [existing, held] : members_) {
+    if (existing == key) {
+      held = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  TC_CHECK(kind_ == Kind::kArray, "push() requires a Json::array()");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return elements_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int levels) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUInt: out += std::to_string(uint_); break;
+    case Kind::kDouble: append_double(out, double_); break;
+    case Kind::kString: out += json_escape(string_); break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline_pad(depth + 1);
+        elements_[i].write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline_pad(depth + 1);
+        out += json_escape(members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+void save_json(const std::string& path, const Json& value, int indent) {
+  const std::string text = value.dump(indent) + "\n";
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path);
+  TC_CHECK(static_cast<bool>(out), "cannot open " + path);
+  out << text;
+  TC_CHECK(static_cast<bool>(out), "write to " + path + " failed");
+}
+
+}  // namespace treecache::util

@@ -1,0 +1,96 @@
+// Minimal JSON document builder for machine-readable results.
+//
+// The harness emits structured output (`treecache ... --json`, the
+// BENCH_*.json artifacts) without an external dependency: Json covers
+// exactly what those emitters need — objects with insertion order
+// preserved, arrays, strings, 64-bit integers, doubles, bools and null —
+// plus correct string escaping and round-trip double formatting. It is a
+// writer only; the repository never parses JSON.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace treecache::util {
+
+/// One JSON value. Build scalars through the implicit constructors and
+/// containers through object()/array() + set()/push(); serialize with
+/// dump(). Copying is deep (values are plain trees).
+class Json {
+ public:
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+
+  template <typename T>
+    requires(std::signed_integral<T> && !std::same_as<T, bool>)
+  Json(T value) : kind_(Kind::kInt), int_(value) {}
+
+  template <typename T>
+    requires(std::unsigned_integral<T> && !std::same_as<T, bool>)
+  Json(T value) : kind_(Kind::kUInt), uint_(value) {}
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  /// Sets (or overwrites) a member of an object, preserving the insertion
+  /// order of first appearance. Throws CheckFailure on non-objects.
+  Json& set(std::string key, Json value);
+
+  /// Appends an element to an array. Throws CheckFailure on non-arrays.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Number of members (object) or elements (array); 0 for scalars.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes the value. indent = 0 renders one compact line; indent > 0
+  /// pretty-prints with that many spaces per nesting level. Non-finite
+  /// doubles (which JSON cannot represent) render as null.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kUInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;                         // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters), returning the quoted token.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Shortest round-trip decimal representation of a finite double (the
+/// format JSON numbers use). Throws CheckFailure on inf/nan.
+[[nodiscard]] std::string format_double(double value);
+
+/// Writes `value.dump(indent)` plus a trailing newline to `path` ("-" means
+/// stdout). Throws CheckFailure if the file cannot be written.
+void save_json(const std::string& path, const Json& value, int indent = 2);
+
+}  // namespace treecache::util

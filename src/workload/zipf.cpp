@@ -28,7 +28,11 @@ ZipfSampler::ZipfSampler(std::size_t n, double skew) {
 }
 
 std::size_t ZipfSampler::sample(Rng& rng) const {
-  const double u = rng.uniform01();
+  return sample_at(rng.uniform01());
+}
+
+std::size_t ZipfSampler::sample_at(double u) const {
+  TC_CHECK(u >= 0.0 && u < 1.0, "u must lie in [0, 1)");
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::size_t>(it - cdf_.begin());
 }

@@ -20,6 +20,11 @@ class ZipfSampler {
   /// Draws a rank in [0, n).
   [[nodiscard]] std::size_t sample(Rng& rng) const;
 
+  /// The rank whose CDF interval contains u ∈ [0, 1): rank r covers
+  /// (cdf(r-1), cdf(r)], except rank 0 which also covers 0. Exposed so
+  /// tests can probe draws landing exactly on a CDF step.
+  [[nodiscard]] std::size_t sample_at(double u) const;
+
   [[nodiscard]] std::size_t size() const { return cdf_.size(); }
 
   /// Probability mass of a rank.

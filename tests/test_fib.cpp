@@ -190,6 +190,75 @@ TEST(RouterSim, LruClosureIsAlsoForwardingCorrect) {
   EXPECT_GT(result.hits, 0u);
 }
 
+// A stub that pins a fixed (legal) subforest and records every request it
+// is stepped with, so the test can observe what the router reports to the
+// online algorithm.
+class PinnedCache final : public OnlineAlgorithm {
+ public:
+  PinnedCache(const Tree& tree, const std::vector<NodeId>& pins)
+      : cache_(tree) {
+    for (const NodeId v : pins) cache_.insert(v);
+    TC_CHECK(cache_.is_valid(), "pins must form a subforest");
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "Pinned"; }
+  StepOutcome step(Request request) override {
+    seen.push_back(request);
+    StepOutcome out;
+    out.paid = (request.sign == Sign::kPositive) !=
+               cache_.contains(request.node);
+    if (out.paid) ++cost_.service;
+    return out;
+  }
+  void reset() override { seen.clear(); }
+  [[nodiscard]] const Subforest& cache() const override { return cache_; }
+  [[nodiscard]] const Cost& cost() const override { return cost_; }
+
+  std::vector<Request> seen;
+
+ private:
+  Subforest cache_;
+  Cost cost_;
+};
+
+// Regression: a mis-forwarded packet (cached LPM disagrees with the full
+// table) must be detoured via the controller — counted in
+// forwarding_errors AND reported to the algorithm as a positive request
+// for the full-table match, not silently dropped from the instance.
+//
+// Subforest-invariant algorithms over a consistent rule tree can never
+// mis-forward, so the test fabricates an *inconsistent* RuleTree: the tree
+// is a star (both rules are leaves, so pinning just the /8 is a legal
+// subforest), while the trie still nests the /16 under the /8 the way real
+// prefixes do.
+TEST(RouterSim, ForwardingErrorsDetourViaController) {
+  RuleTree rt{
+      .tree = Tree({kNoNode, 0, 0}),  // star: the /16 is NOT a tree child
+      .prefix = {Prefix{}, Prefix::parse("10.0.0.0/8"),
+                 Prefix::parse("10.0.0.0/16")},
+      .trie = {}};
+  rt.trie.insert(rt.prefix[1], 1);
+  rt.trie.insert(rt.prefix[2], 2);
+
+  PinnedCache pinned(rt.tree, {1});  // the /8 is cached, the /16 is not
+  const auto result = run_router_sim(
+      rt, pinned, {.packets = 2000, .zipf_skew = 1.0, .alpha = 4, .seed = 9});
+
+  // Packets inside 10.0.0.0/16 match the cached /8 but the full table
+  // picks the /16: mis-forwarded, detected, detoured.
+  EXPECT_GT(result.forwarding_errors, 0u);
+  EXPECT_GT(result.hits, 0u);  // packets on the /8 outside the /16 still hit
+  EXPECT_EQ(result.hits + result.misses + result.forwarding_errors,
+            result.packets);
+  // The algorithm saw exactly one positive request per detoured packet
+  // (misses are zero here: every sampled address matches the cached /8).
+  EXPECT_EQ(result.misses, 0u);
+  ASSERT_EQ(pinned.seen.size(), result.forwarding_errors);
+  for (const Request& r : pinned.seen) {
+    EXPECT_EQ(r, positive(2));
+  }
+}
+
 TEST(RouterSim, ZeroCapacityEquivalentMissesEverything) {
   Rng rng(29);
   const auto rib = generate_rib({.rules = 100}, rng);

@@ -1,0 +1,168 @@
+// FIB scenario family through the registry: fib* workload registration,
+// the closed-loop sim/fib_engine (scenarios + sweeps), grid integration,
+// and the JSON result documents.
+#include "sim/fib_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fib/fib_workloads.hpp"
+#include "sim/reporting.hpp"
+#include "sim/scenario.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+
+namespace treecache {
+namespace {
+
+sim::Params small_fib_params() {
+  sim::Params p;
+  p.set("rules", "300");
+  p.set("length", "4000");
+  p.set("packets", "4000");
+  p.set("alpha", "4");
+  p.set("capacity", "32");
+  return p;
+}
+
+TEST(FibWorkloads, RuleTreeFromParamsIsDeterministic) {
+  const sim::Params p = small_fib_params();
+  const fib::RuleTree a = fib::rule_tree_from_params(p);
+  const fib::RuleTree b = fib::rule_tree_from_params(p);
+  EXPECT_EQ(a.tree.parent_array(), b.tree.parent_array());
+  EXPECT_EQ(a.tree.size(), 301u);  // rules + artificial default root
+}
+
+TEST(FibWorkloads, NamesAreClassified) {
+  EXPECT_TRUE(fib::is_fib_workload_name("fib"));
+  EXPECT_TRUE(fib::is_fib_workload_name("fib-stable"));
+  EXPECT_TRUE(fib::is_fib_workload_name("fib-churn"));
+  EXPECT_FALSE(fib::is_fib_workload_name("zipf"));
+  EXPECT_FALSE(fib::is_fib_workload_name("fibx"));
+}
+
+TEST(FibWorkloads, ProduceValidTracesOnTheirRuleTree) {
+  const sim::Params p = small_fib_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(p);
+  Rng rng(5);
+  for (const std::string name : {"fib", "fib-stable", "fib-churn"}) {
+    SCOPED_TRACE(name);
+    const Trace trace = sim::make_workload(name, rt.tree, p, rng);
+    ASSERT_FALSE(trace.empty());
+    std::size_t negatives = 0;
+    for (const Request& r : trace) {
+      ASSERT_LT(r.node, rt.tree.size());
+      negatives += r.sign == Sign::kNegative ? 1u : 0u;
+    }
+    if (name == "fib-stable") {
+      EXPECT_EQ(negatives, 0u) << "fib-stable must not contain updates";
+    }
+  }
+}
+
+TEST(FibWorkloads, RejectForeignTrees) {
+  Rng rng(3);
+  const Tree foreign = trees::random_recursive(301, rng);
+  EXPECT_THROW(
+      (void)sim::make_workload("fib", foreign, small_fib_params(), rng),
+      CheckFailure);
+}
+
+TEST(FibEngine, ScenarioRunsEndToEndThroughRegistry) {
+  sim::FibScenario scenario{
+      .algorithm = "tc", .params = small_fib_params(), .seed = 11};
+  scenario.params.set("skew", "1.1");
+  scenario.params.set("update-prob", "0.02");
+  const auto result = sim::run_fib_scenario(scenario);
+  EXPECT_EQ(result.router.packets, 4000u);
+  EXPECT_EQ(result.router.hits + result.router.misses +
+                result.router.forwarding_errors,
+            result.router.packets);
+  EXPECT_EQ(result.router.forwarding_errors, 0u);
+  EXPECT_GT(result.router.hits, 0u) << "cache never got hot";
+  EXPECT_GT(result.router.updates, 0u);
+  EXPECT_GT(result.router.algorithm_cost.total(), 0u);
+}
+
+TEST(FibEngine, SweepIsDeterministicAndSharesTrafficPerPoint) {
+  const fib::RuleTree rt = fib::rule_tree_from_params(small_fib_params());
+  sim::FibSweepAxes axes;
+  axes.algorithms = {"tc", "lru", "none"};
+  axes.skews = {0.8, 1.2};
+  axes.capacities = {16, 64};
+  axes.alphas = {4};
+  const auto run = [&] {
+    return sim::run_fib_sweep(rt, axes, small_fib_params(), 42);
+  };
+  const auto cells = run();
+  ASSERT_EQ(cells.size(), 3u * 2u * 2u);
+
+  // All algorithms at one (skew, capacity, alpha) point replay the same
+  // event stream: packet and update counts must agree across algorithms.
+  const std::size_t points = 4;
+  for (std::size_t point = 0; point < points; ++point) {
+    for (std::size_t alg = 1; alg < axes.algorithms.size(); ++alg) {
+      const auto& first = cells[point].router;
+      const auto& other = cells[alg * points + point].router;
+      EXPECT_EQ(first.packets, other.packets);
+      EXPECT_EQ(first.updates, other.updates);
+    }
+  }
+  // Cells are ordered algorithm-major with the axes in the params.
+  EXPECT_EQ(cells.front().scenario.algorithm, "tc");
+  EXPECT_EQ(cells.front().scenario.params.get("skew", ""), "0.8");
+  EXPECT_EQ(cells.back().scenario.algorithm, "none");
+  EXPECT_EQ(cells.back().scenario.params.get("capacity", ""), "64");
+
+  // Bit-identical on repeat (parallel_sweep pre-derives per-point seeds).
+  EXPECT_EQ(sim::fib_sweep_json(cells).dump(),
+            sim::fib_sweep_json(run()).dump());
+}
+
+// Acceptance: run_grid sweeps FIB workloads against >= 3 registered
+// algorithms, deterministically.
+TEST(FibEngine, RunGridSweepsFibWorkloads) {
+  sim::Params base = small_fib_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(base);
+  const std::vector<std::string> algorithms{"tc", "lru", "local"};
+  const std::vector<std::string> workloads{"fib", "fib-stable", "fib-churn"};
+  const auto run = [&] {
+    return sim::run_grid(rt.tree, algorithms, workloads, base, 7);
+  };
+  const auto cells = run();
+  ASSERT_EQ(cells.size(), 9u);
+  for (const auto& cell : cells) {
+    // Each of the "length" events adds one packet request or an α-chunk of
+    // negative requests, so every trace has at least `length` rounds.
+    EXPECT_GE(cell.run.rounds, base.get_u64("length", 0))
+        << cell.scenario.algorithm << " x " << cell.scenario.workload;
+  }
+  EXPECT_EQ(sim::grid_json(cells).dump(), sim::grid_json(run()).dump());
+}
+
+TEST(Reporting, JsonDocumentsCarrySchemas) {
+  sim::Params base = small_fib_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(base);
+  const auto grid = sim::run_grid(rt.tree, {"tc"}, {"fib"}, base, 3);
+  const std::string grid_text = sim::grid_json(grid).dump();
+  EXPECT_NE(grid_text.find("\"schema\": \"treecache.grid/1\""),
+            std::string::npos);
+  EXPECT_NE(grid_text.find("\"total_cost\""), std::string::npos);
+
+  const std::string run_text = sim::scenario_json(grid.front()).dump();
+  EXPECT_NE(run_text.find("\"schema\": \"treecache.run/1\""),
+            std::string::npos);
+  EXPECT_NE(run_text.find("\"workload\": \"fib\""), std::string::npos);
+
+  sim::FibScenario scenario{.algorithm = "tc", .params = base, .seed = 2};
+  const auto fib_cells =
+      std::vector<sim::FibScenarioResult>{sim::run_fib_scenario(rt, scenario)};
+  const std::string fib_text = sim::fib_sweep_json(fib_cells).dump();
+  EXPECT_NE(fib_text.find("\"schema\": \"treecache.fib/1\""),
+            std::string::npos);
+  EXPECT_NE(fib_text.find("\"forwarding_errors\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treecache

@@ -1,0 +1,88 @@
+// util/json: value construction, escaping, number formatting, ordering,
+// pretty/compact rendering, and file output.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace treecache::util {
+namespace {
+
+TEST(Json, ScalarsRender) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json(std::int64_t{-9223372036854775807LL}).dump(),
+            "-9223372036854775807");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("text").dump(), "\"text\"");
+  EXPECT_EQ(Json(std::string("s")).dump(), "\"s\"");
+}
+
+TEST(Json, DoubleRoundTripAndNonFinite) {
+  const double value = 0.1234567890123456789;
+  EXPECT_EQ(std::stod(Json(value).dump()), value);
+  // JSON cannot represent inf/nan; they degrade to null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("ctl\x01")).dump(), "\"ctl\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndOverwrites) {
+  Json obj = Json::object();
+  obj.set("z", 1).set("a", 2).set("z", 3);  // overwrite keeps position
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.dump(), "{\"z\": 3, \"a\": 2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr = Json::array();
+  arr.push(1).push("two");
+  Json obj = Json::object();
+  obj.set("items", std::move(arr)).set("empty", Json::array());
+  EXPECT_EQ(obj.dump(), "{\"items\": [1, \"two\"], \"empty\": []}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("k", Json::array().push(1).push(2));
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, ContainerMisuseThrows) {
+  EXPECT_THROW(Json(1).set("k", 2), CheckFailure);
+  EXPECT_THROW(Json::object().push(1), CheckFailure);
+  EXPECT_THROW(Json::array().set("k", 1), CheckFailure);
+}
+
+TEST(Json, SaveJsonWritesFile) {
+  const std::string path = "/tmp/treecache_test_json.json";
+  Json obj = Json::object();
+  obj.set("schema", "test/1").set("value", 7);
+  save_json(path, obj);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), obj.dump(2) + "\n");
+  EXPECT_THROW(save_json("/nonexistent-dir/x.json", obj), CheckFailure);
+}
+
+}  // namespace
+}  // namespace treecache::util

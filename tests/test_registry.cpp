@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "fib/fib_workloads.hpp"
 #include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
@@ -34,8 +35,8 @@ TEST(Registry, ExpectedAlgorithmsAreRegistered) {
 
 TEST(Registry, ExpectedWorkloadsAreRegistered) {
   const auto names = sim::WorkloadRegistry::instance().names();
-  for (const char* expected :
-       {"uniform", "zipf", "zipfleaf", "hotspot", "churn"}) {
+  for (const char* expected : {"uniform", "zipf", "zipfleaf", "hotspot",
+                               "churn", "fib", "fib-stable", "fib-churn"}) {
     EXPECT_TRUE(std::ranges::count(names, expected) == 1)
         << "missing workload registration: " << expected;
   }
@@ -89,12 +90,17 @@ TEST(Registry, EveryAlgorithmRunsOneSmokeTrace) {
 
 TEST(Registry, EveryWorkloadProducesAValidTrace) {
   Rng rng(11);
-  const Tree tree = trees::random_recursive(40, rng);
-  const sim::Params params = smoke_params();
+  const Tree generic_tree = trees::random_recursive(40, rng);
+  sim::Params params = smoke_params();
+  params.set("rules", "60");  // keep the fib* substrate test-sized
+  // fib* workloads are only defined over their own RIB rule tree.
+  const fib::RuleTree rule_tree = fib::rule_tree_from_params(params);
 
   for (const std::string& name :
        sim::WorkloadRegistry::instance().names()) {
     SCOPED_TRACE("workload: " + name);
+    const Tree& tree =
+        fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
     const Trace trace = sim::make_workload(name, tree, params, rng);
     EXPECT_FALSE(trace.empty());
     for (const Request& r : trace) {

@@ -69,6 +69,45 @@ TEST(Metrics, SummaryOfEmptyIsZero) {
   EXPECT_EQ(s.mean, 0.0);
 }
 
+// Nearest-rank quantiles: rank ⌈q·n⌉ clamped to [1, n]. Median and p95
+// must follow the same convention.
+TEST(Metrics, QuantileNearestRankOddSample) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.5), 3.0);   // rank ⌈2.5⌉ = 3
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.95), 5.0);  // rank ⌈4.75⌉ = 5
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 1.0), 5.0);
+}
+
+TEST(Metrics, QuantileNearestRankEvenSample) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  // q·n lands exactly on a rank boundary: ⌈2⌉ = 2, the lower middle.
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.25), 10.0);  // ⌈1⌉ = 1
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.75), 30.0);  // ⌈3⌉ = 3
+  EXPECT_DOUBLE_EQ(sim::quantile(sorted, 0.76), 40.0);  // ⌈3.04⌉ = 4
+}
+
+TEST(Metrics, QuantileSmallSamples) {
+  EXPECT_DOUBLE_EQ(sim::quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(sim::quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(sim::quantile({7.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(sim::quantile({1.0, 2.0}, 0.5), 1.0);  // ⌈1⌉ = 1
+  EXPECT_DOUBLE_EQ(sim::quantile({1.0, 2.0}, 0.51), 2.0);
+  EXPECT_THROW((void)sim::quantile({}, 0.5), CheckFailure);
+}
+
+TEST(Metrics, SummaryQuantilesMatchQuantileHelper) {
+  std::vector<double> samples;
+  for (int i = 40; i >= 1; --i) samples.push_back(i);  // 1..40, reversed
+  const auto s = sim::summarize(samples);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_DOUBLE_EQ(s.median, sim::quantile(samples, 0.5));
+  EXPECT_DOUBLE_EQ(s.median, 20.0);  // even n: lower middle element
+  EXPECT_DOUBLE_EQ(s.p95, sim::quantile(samples, 0.95));
+  EXPECT_DOUBLE_EQ(s.p95, 38.0);  // rank ⌈0.95·40⌉ = 38
+}
+
 TEST(Metrics, LinearFitRecoversLine) {
   std::vector<double> x, y;
   for (int i = 0; i < 50; ++i) {

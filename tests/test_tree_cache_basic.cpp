@@ -7,6 +7,8 @@
 
 #include "core/tree_cache.hpp"
 #include "tree/tree_builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
 
 namespace treecache {
 namespace {
@@ -221,6 +223,54 @@ TEST(TreeCacheBasic, ResetRestoresInitialState) {
   tc.step(positive(2));
   const auto out = tc.step(positive(2));
   EXPECT_EQ(out.change, ChangeKind::kFetch);
+}
+
+// Regression for stale state carried across reset(): h_value_/h_size_ and
+// the scratch arrays are now cleared explicitly, so a reset-then-replay
+// run must be bit-identical to a fresh instance — outcomes, costs, phase
+// accounting, counters and the (I, S) negative-side aggregates.
+TEST(TreeCacheBasic, ResetThenReplayIsBitIdenticalToFresh) {
+  Rng rng(123);
+  const Tree t = trees::random_recursive(40, rng);
+  // Mixed positive/negative pressure against a tiny capacity, so the first
+  // run exercises fetches, evictions and phase restarts before the reset.
+  const Trace trace = workload::zipf_trace(t, 3000, 1.0, 0.35, rng);
+  const TreeCacheConfig config{.alpha = 2, .capacity = 5};
+
+  TreeCache reused(t, config);
+  for (const Request& r : trace) reused.step(r);
+  EXPECT_GT(reused.phases().size(), 1u) << "trace too tame: no restarts";
+  reused.reset();
+
+  TreeCache fresh(t, config);
+  for (const Request& r : trace) {
+    const StepOutcome a = fresh.step(r);
+    const StepOutcome b = reused.step(r);
+    ASSERT_EQ(a.paid, b.paid);
+    ASSERT_EQ(a.change, b.change);
+    ASSERT_TRUE(std::ranges::equal(a.changed, b.changed));
+  }
+  EXPECT_EQ(fresh.cost(), reused.cost());
+  EXPECT_EQ(fresh.work(), reused.work());
+  EXPECT_EQ(fresh.cache().as_vector(), reused.cache().as_vector());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    ASSERT_EQ(fresh.counter(v), reused.counter(v)) << "counter at " << v;
+    if (fresh.cache().contains(v)) {
+      ASSERT_EQ(fresh.debug_hI(v), reused.debug_hI(v)) << "I at " << v;
+      ASSERT_EQ(fresh.debug_hS(v), reused.debug_hS(v)) << "S at " << v;
+    }
+  }
+  ASSERT_EQ(fresh.phases().size(), reused.phases().size());
+  for (std::size_t i = 0; i < fresh.phases().size(); ++i) {
+    const PhaseStats& a = fresh.phases()[i];
+    const PhaseStats& b = reused.phases()[i];
+    EXPECT_EQ(a.first_round, b.first_round) << "phase " << i;
+    EXPECT_EQ(a.last_round, b.last_round) << "phase " << i;
+    EXPECT_EQ(a.finished, b.finished) << "phase " << i;
+    EXPECT_EQ(a.k_end, b.k_end) << "phase " << i;
+    EXPECT_EQ(a.fetches, b.fetches) << "phase " << i;
+    EXPECT_EQ(a.evictions, b.evictions) << "phase " << i;
+  }
 }
 
 TEST(TreeCacheBasic, RejectsBadConfig) {

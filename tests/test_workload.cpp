@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "baselines/paging.hpp"
@@ -36,6 +37,53 @@ TEST(Zipf, PmfMatchesEmpiricalFrequencies) {
     EXPECT_NEAR(static_cast<double>(hits[r]) / draws, sampler.pmf(r), 0.01)
         << "rank " << r;
   }
+}
+
+TEST(Zipf, SingleRankDegenerateCase) {
+  Rng rng(9);
+  for (const double skew : {0.0, 1.0, 3.0}) {
+    const ZipfSampler sampler(1, skew);
+    EXPECT_EQ(sampler.size(), 1u);
+    EXPECT_DOUBLE_EQ(sampler.pmf(0), 1.0);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+  }
+}
+
+TEST(Zipf, BoundaryDrawsLandOnCdfSteps) {
+  // Skew 0 over 4 ranks has exactly representable CDF steps 0.25, 0.5,
+  // 0.75, 1.0, so draws landing *exactly* on a step are testable: rank r
+  // covers (cdf(r-1), cdf(r)], except rank 0 which also covers 0.
+  const ZipfSampler sampler(4, 0.0);
+  EXPECT_EQ(sampler.sample_at(0.0), 0u);
+  EXPECT_EQ(sampler.sample_at(0.25), 0u);
+  EXPECT_EQ(sampler.sample_at(std::nextafter(0.25, 1.0)), 1u);
+  EXPECT_EQ(sampler.sample_at(0.5), 1u);
+  EXPECT_EQ(sampler.sample_at(0.75), 2u);
+  EXPECT_EQ(sampler.sample_at(std::nextafter(0.75, 1.0)), 3u);
+  EXPECT_EQ(sampler.sample_at(std::nextafter(1.0, 0.0)), 3u);
+  // uniform01() never returns 1.0; sample_at enforces the same domain.
+  EXPECT_THROW((void)sampler.sample_at(1.0), CheckFailure);
+  EXPECT_THROW((void)sampler.sample_at(-0.001), CheckFailure);
+}
+
+TEST(Zipf, ChiSquaredAgainstPmf) {
+  // Pearson χ² sanity check that empirical frequencies track pmf(). With
+  // 15 degrees of freedom the 99.9th percentile is ≈ 37.7; the draw is
+  // deterministic (fixed seed), so the bound cannot flake.
+  Rng rng(2024);
+  const std::size_t n = 16;
+  const ZipfSampler sampler(n, 1.0);
+  const int draws = 100000;
+  std::vector<std::size_t> hits(n, 0);
+  for (int i = 0; i < draws; ++i) ++hits[sampler.sample(rng)];
+  double chi2 = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double expected = sampler.pmf(r) * draws;
+    ASSERT_GT(expected, 5.0) << "chi-squared needs expected counts > 5";
+    const double diff = static_cast<double>(hits[r]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 37.7) << "empirical frequencies diverge from pmf()";
 }
 
 TEST(Zipf, HigherSkewConcentratesMass) {

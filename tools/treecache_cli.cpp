@@ -17,9 +17,14 @@
 //              [--out trace.txt]
 //   run        --tree tree.txt --algo <algorithm> --alpha A --capacity K
 //              (--trace trace.txt | --workload <workload> [--length N ...])
-//              [--seed S] [--validate]
+//              [--seed S] [--validate] [--json out.json]
 //   sweep      --tree tree.txt --algos a,b,... --workloads w1,w2,...
-//              [shared params] [--seed S]
+//              [shared params] [--seed S] [--json out.json]
+//   fib        closed-loop router simulation (switch + controller) on a
+//              synthetic RIB: --algos a,b,... --skews 0.8,1.2
+//              --capacities 64,256 --alphas 8,32 [--packets N]
+//              [--update-prob P] [--rules N] [--deagg D] [--max-len L]
+//              [--rib-seed S] [--seed S] [--json out.json]
 //   opt        --tree tree.txt --trace trace.txt --alpha A --capacity K
 //              [--evaluator opt|static]
 //   fields     --tree tree.txt --trace trace.txt --alpha A --capacity K
@@ -27,6 +32,12 @@
 //
 // Files: trees are whitespace-separated parent lists (root = -1); traces
 // are one request per line ("+12" / "-3"); both match tree_io/trace I/O.
+// `--tree fib` derives the RIB rule tree from the same
+// --rules/--deagg/--max-len/--rib-seed flags the fib* workloads use, so
+// `run`/`sweep` can drive FIB workloads without an intermediate file.
+// `--json` writes the machine-readable result document (schemas in
+// sim/reporting.hpp); "-" means stdout.
+#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -35,14 +46,18 @@
 #include "analysis/opt_bound.hpp"
 #include "core/field_tracker.hpp"
 #include "core/tree_cache.hpp"  // `fields` instruments TC specifically
+#include "fib/fib_workloads.hpp"
 #include "fib/rib_gen.hpp"
 #include "fib/rule_tree.hpp"
+#include "sim/fib_engine.hpp"
 #include "sim/registry.hpp"
+#include "sim/reporting.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "tools/flags.hpp"
 #include "tree/tree_builder.hpp"
 #include "tree/tree_io.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace treecache::tools {
@@ -50,16 +65,29 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: treecache <list|gen-tree|gen-rib|gen-trace|run|sweep|opt|"
-         "fields> [--flags]\n"
+      << "usage: treecache <list|gen-tree|gen-rib|gen-trace|run|sweep|fib|"
+         "opt|fields> [--flags]\n"
          "see the header of tools/treecache_cli.cpp for the full list\n";
   return 2;
 }
 
 /// Every --key value forwarded verbatim, so registry factories see their
-/// own knobs without CLI plumbing per parameter.
+/// own knobs without CLI plumbing per parameter. Presentation and file
+/// flags are dropped: they never parameterize a scenario, and keeping
+/// them out makes the params echoed into --json documents byte-identical
+/// across output paths.
 sim::Params params_from(const Flags& flags) {
-  return sim::Params(flags.all());
+  auto values = flags.all();
+  for (const char* key : {"json", "out", "tree", "trace", "validate"}) {
+    values.erase(key);
+  }
+  return sim::Params(std::move(values));
+}
+
+/// True when human-readable output belongs on stdout: suppressed only
+/// while `--json -` streams the document there, so the two never mix.
+bool stdout_is_human(const Flags& flags) {
+  return !flags.has("json") || flags.get("json", "-") != "-";
 }
 
 std::vector<std::string> split_csv(const std::string& text) {
@@ -67,6 +95,34 @@ std::vector<std::string> split_csv(const std::string& text) {
   std::stringstream ss(text);
   for (std::string item; std::getline(ss, item, ',');) {
     if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<double> split_csv_doubles(const std::string& text) {
+  std::vector<double> out;
+  for (const std::string& item : split_csv(text)) {
+    try {
+      out.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw CheckFailure("'" + item + "' is not a number");
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> split_csv_u64(const std::string& text) {
+  std::vector<T> out;
+  for (const std::string& item : split_csv(text)) {
+    // from_chars, not stoull: stoull accepts "-1" and wraps it mod 2^64.
+    std::uint64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), value);
+    if (ec != std::errc{} || end != item.data() + item.size()) {
+      throw CheckFailure("'" + item + "' is not an unsigned integer");
+    }
+    out.push_back(static_cast<T>(value));
   }
   return out;
 }
@@ -96,6 +152,11 @@ void write_text(const std::string& path, const std::string& text) {
 Tree load_tree(const Flags& flags) {
   const std::string path = flags.get("tree", "");
   TC_CHECK(!path.empty(), "--tree is required");
+  // The special value "fib" derives the RIB rule tree from the same flags
+  // the fib* workloads read, so no intermediate tree file is needed.
+  if (path == "fib") {
+    return fib::rule_tree_from_params(params_from(flags)).tree;
+  }
   std::ifstream in(path);
   TC_CHECK(static_cast<bool>(in), "cannot open " + path);
   std::stringstream buffer;
@@ -200,18 +261,35 @@ int cmd_run(const Flags& flags) {
 
   const auto result =
       sim::run_trace(*alg, trace, {}, flags.has("validate"));
-  std::cout << "algorithm:       " << alg->name() << "\n"
-            << "rounds:          " << result.rounds << "\n"
-            << "service cost:    " << result.cost.service << "\n"
-            << "reorg cost:      " << result.cost.reorg << "\n"
-            << "total cost:      " << result.cost.total() << "\n"
-            << "paid positives:  " << result.paid_positive << "\n"
-            << "paid negatives:  " << result.paid_negative << "\n"
-            << "fetched nodes:   " << result.fetched_nodes << "\n"
-            << "evicted nodes:   " << result.evicted_nodes << "\n"
-            << "phase restarts:  " << result.phase_restarts << "\n"
-            << "max cache size:  " << result.max_cache_size << "\n"
-            << "final cache:     " << result.final_cache_size << "\n";
+  if (flags.has("json")) {
+    const sim::Scenario scenario{.algorithm = name,
+                                 .workload = flags.get("workload", ""),
+                                 .params = params,
+                                 .seed = flags.get_u64("seed", 1)};
+    util::Json scenario_doc = sim::to_json(scenario);
+    if (!flags.has("workload")) {
+      scenario_doc.set("trace", flags.get("trace", ""));
+    }
+    util::save_json(flags.get("json", "-"),
+                    util::Json::object()
+                        .set("schema", "treecache.run/1")
+                        .set("scenario", std::move(scenario_doc))
+                        .set("result", sim::to_json(result)));
+  }
+  if (stdout_is_human(flags)) {
+    std::cout << "algorithm:       " << alg->name() << "\n"
+              << "rounds:          " << result.rounds << "\n"
+              << "service cost:    " << result.cost.service << "\n"
+              << "reorg cost:      " << result.cost.reorg << "\n"
+              << "total cost:      " << result.cost.total() << "\n"
+              << "paid positives:  " << result.paid_positive << "\n"
+              << "paid negatives:  " << result.paid_negative << "\n"
+              << "fetched nodes:   " << result.fetched_nodes << "\n"
+              << "evicted nodes:   " << result.evicted_nodes << "\n"
+              << "phase restarts:  " << result.phase_restarts << "\n"
+              << "max cache size:  " << result.max_cache_size << "\n"
+              << "final cache:     " << result.final_cache_size << "\n";
+  }
   return 0;
 }
 
@@ -246,7 +324,51 @@ int cmd_sweep(const Flags& flags) {
                    ConsoleTable::fmt(cell.run.phase_restarts),
                    ConsoleTable::fmt(std::uint64_t{cell.run.max_cache_size})});
   }
-  table.print();
+  if (stdout_is_human(flags)) table.print();
+  if (flags.has("json")) {
+    util::save_json(flags.get("json", "-"), sim::grid_json(cells));
+  }
+  return 0;
+}
+
+int cmd_fib(const Flags& flags) {
+  const sim::Params params = params_from(flags);
+  const fib::RuleTree rules = fib::rule_tree_from_params(params);
+  std::cerr << "rule tree: " << rules.tree.size() << " nodes, height "
+            << rules.tree.height() << "\n";
+
+  sim::FibSweepAxes axes;
+  axes.algorithms =
+      split_csv(flags.get("algos", flags.get("algo", "tc,lru,local")));
+  axes.skews =
+      split_csv_doubles(flags.get("skews", flags.get("skew", "1.0")));
+  axes.capacities = split_csv_u64<std::size_t>(
+      flags.get("capacities", flags.get("capacity", "64")));
+  axes.alphas = split_csv_u64<std::uint64_t>(
+      flags.get("alphas", flags.get("alpha", "16")));
+
+  const auto cells =
+      sim::run_fib_sweep(rules, axes, params, flags.get_u64("seed", 1));
+  ConsoleTable table({"algorithm", "skew", "capacity", "alpha", "hit rate",
+                      "fwd err", "misses", "updates", "service", "reorg",
+                      "total"});
+  for (const auto& cell : cells) {
+    table.add_row(
+        {cell.scenario.algorithm, cell.scenario.params.get("skew", "?"),
+         cell.scenario.params.get("capacity", "?"),
+         cell.scenario.params.get("alpha", "?"),
+         ConsoleTable::fmt(cell.router.hit_rate(), 3),
+         ConsoleTable::fmt(cell.router.forwarding_errors),
+         ConsoleTable::fmt(cell.router.misses),
+         ConsoleTable::fmt(cell.router.updates),
+         ConsoleTable::fmt(cell.router.algorithm_cost.service),
+         ConsoleTable::fmt(cell.router.algorithm_cost.reorg),
+         ConsoleTable::fmt(cell.router.algorithm_cost.total())});
+  }
+  if (stdout_is_human(flags)) table.print();
+  if (flags.has("json")) {
+    util::save_json(flags.get("json", "-"), sim::fib_sweep_json(cells));
+  }
   return 0;
 }
 
@@ -290,6 +412,7 @@ int dispatch(int argc, char** argv) {
   if (command == "gen-trace") return cmd_gen_trace(flags);
   if (command == "run") return cmd_run(flags);
   if (command == "sweep") return cmd_sweep(flags);
+  if (command == "fib") return cmd_fib(flags);
   if (command == "opt") return cmd_opt(flags);
   if (command == "fields") return cmd_fields(flags);
   return usage();
