@@ -11,6 +11,7 @@
 #include "sim/metrics.hpp"
 #include "sim/registry.hpp"
 #include "sim/reporting.hpp"
+#include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/json.hpp"
@@ -34,8 +35,8 @@ Measurement measure(const Tree& tree, std::uint64_t alpha, std::size_t k,
   params.set("alpha", std::to_string(alpha));
   params.set("capacity", std::to_string(k));
   const Trace trace = workload::uniform_trace(tree, 400, 0.4, rng);
-  const std::uint64_t online =
-      sim::make_algorithm("tc", tree, params)->run(trace).total();
+  const auto tc = sim::make_algorithm("tc", tree, params);
+  const std::uint64_t online = sim::run_trace(*tc, trace).cost.total();
   const std::uint64_t opt =
       sim::evaluate_offline("opt", tree, trace, params);
   Measurement m;

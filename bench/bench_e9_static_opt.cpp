@@ -8,6 +8,7 @@
 
 #include "baselines/static_opt.hpp"
 #include "core/tree_cache.hpp"
+#include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -50,7 +51,7 @@ void BM_StaticVsOnline(benchmark::State& state) {
   std::uint64_t offline = 0;
   for (auto _ : state) {
     TreeCache tc(tree, {.alpha = alpha, .capacity = k});
-    online = tc.run(trace).total();
+    online = sim::run_trace(tc, trace).cost.total();
     const auto weights = positive_weights(tree, trace);
     const auto chosen = best_static_subforest(tree, weights, k);
     offline = static_cache_cost(tree, trace, alpha, chosen);

@@ -15,6 +15,7 @@
 
 #include "baselines/paging.hpp"
 #include "core/tree_cache.hpp"
+#include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
   const Tree star = trees::star(pages);
   const Trace lifted = workload::lift_paging_sequence(sequence, alpha);
   TreeCache tc(star, {.alpha = alpha, .capacity = k});
-  const Cost tc_cost = tc.run(lifted);
+  const Cost tc_cost = sim::run_trace(tc, lifted).cost;
 
   std::printf("paging: %zu pages, cache %zu, %zu requests, alpha = %llu\n\n",
               pages, k, requests, static_cast<unsigned long long>(alpha));

@@ -54,12 +54,6 @@ class OnlineAlgorithm {
 
   [[nodiscard]] virtual const Subforest& cache() const = 0;
   [[nodiscard]] virtual const Cost& cost() const = 0;
-
-  /// Convenience: runs a whole trace and returns the accumulated cost.
-  Cost run(std::span<const Request> trace) {
-    for (const Request& r : trace) step(r);
-    return cost();
-  }
 };
 
 }  // namespace treecache

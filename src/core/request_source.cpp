@@ -1,0 +1,62 @@
+#include "core/request_source.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace treecache {
+
+std::size_t TraceSource::fill(std::span<Request> buffer) {
+  const std::size_t n =
+      std::min(buffer.size(), view_.size() - position_);
+  std::copy_n(view_.begin() + static_cast<std::ptrdiff_t>(position_), n,
+              buffer.begin());
+  position_ += n;
+  return n;
+}
+
+FileTraceSource::FileTraceSource(std::string path, std::size_t tree_size)
+    : path_(std::move(path)), tree_size_(tree_size), in_(path_) {
+  TC_CHECK(static_cast<bool>(in_), "cannot open " + path_);
+}
+
+std::size_t FileTraceSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  std::string line;
+  while (n < buffer.size() && std::getline(in_, line)) {
+    ++line_number_;
+    if (line.empty()) continue;
+    buffer[n++] = parse_request_line(line, line_number_, tree_size_);
+  }
+  // A read error must not masquerade as a clean end of stream — the run
+  // would silently report costs for a truncated trace.
+  TC_CHECK(!in_.bad(), "read error in " + path_ + " near line " +
+                           std::to_string(line_number_));
+  return n;
+}
+
+void FileTraceSource::reset() {
+  in_.clear();
+  in_.seekg(0);
+  TC_CHECK(static_cast<bool>(in_), "cannot rewind " + path_);
+  line_number_ = 0;
+}
+
+Trace materialize(RequestSource& source, std::size_t max_requests) {
+  Trace trace;
+  if (const auto hint = source.size_hint(); hint.has_value()) {
+    trace.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(*hint, max_requests)));
+  }
+  Request buffer[1024];
+  while (trace.size() < max_requests) {
+    const std::size_t want =
+        std::min<std::size_t>(std::size(buffer), max_requests - trace.size());
+    const std::size_t n = source.fill({buffer, want});
+    if (n == 0) break;
+    trace.insert(trace.end(), buffer, buffer + n);
+  }
+  return trace;
+}
+
+}  // namespace treecache

@@ -1,0 +1,125 @@
+// Pull-based request streams — the input side of the online problem.
+//
+// A RequestSource produces the request sequence one round at a time, so a
+// driver can run billion-request experiments in O(1) memory instead of
+// materializing a Trace up front. Sources come in two flavours:
+//
+//   open loop    the stream is fixed in advance (trace files, random
+//                generators, combinators over them). observe() is a no-op.
+//   closed loop  the next request depends on how the algorithm reacted —
+//                e.g. the FIB router source only emits a request when a
+//                packet misses the switch cache. Such sources rebuild the
+//                cache state they need from the StepOutcome feedback the
+//                driver hands to observe() after every round.
+//
+// The driver contract (sim::run_source) is strict alternation per batch:
+//   n = source.fill(buffer)       // n requests that do NOT depend on
+//                                 // outcomes the source has not seen yet
+//   for each of the n requests:   alg.step(r) → source.observe(outcome)
+// fill() returning 0 ends the run. A closed-loop source must therefore
+// only batch requests whose values are already determined (e.g. the
+// remainder of an α-chunk) and return before generating an event that
+// reads its mirrored cache state.
+//
+// next() is a convenience wrapper over fill() for one-request-at-a-time
+// consumers; implementations only ever override fill(), which amortizes
+// the virtual dispatch over whole batches on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace treecache {
+
+struct StepOutcome;  // core/online_algorithm.hpp
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Writes up to buffer.size() upcoming requests into `buffer` and returns
+  /// how many were produced. 0 means the stream is exhausted (and every
+  /// later call must keep returning 0 until reset()). A closed-loop source
+  /// must only return requests that do not depend on outcomes it has not
+  /// observed yet — returning less than a full buffer is always legal.
+  [[nodiscard]] virtual std::size_t fill(std::span<Request> buffer) = 0;
+
+  /// Rewinds to the first request: the source replays the identical stream
+  /// (closed-loop sources additionally forget all observed feedback).
+  virtual void reset() = 0;
+
+  /// Exact number of requests remaining, when the source can know it
+  /// without running ahead (trace files and feedback-dependent streams
+  /// return nullopt). Used to pre-size buffers, never for termination.
+  [[nodiscard]] virtual std::optional<std::uint64_t> size_hint() const {
+    return std::nullopt;
+  }
+
+  /// Feedback hook: the driver calls this after every step() with the
+  /// round's outcome, in stream order. Open-loop sources ignore it.
+  virtual void observe(const StepOutcome& /*outcome*/) {}
+
+  /// Single-request convenience over fill().
+  [[nodiscard]] std::optional<Request> next() {
+    Request r;
+    return fill({&r, 1}) == 1 ? std::optional<Request>(r) : std::nullopt;
+  }
+};
+
+/// Adapts an in-memory request sequence (owning a Trace, or borrowing a
+/// span whose storage must outlive the source).
+class TraceSource final : public RequestSource {
+ public:
+  explicit TraceSource(Trace trace)
+      : owned_(std::move(trace)), view_(owned_) {}
+  explicit TraceSource(std::span<const Request> view) : view_(view) {}
+
+  TraceSource(const TraceSource&) = delete;
+  TraceSource& operator=(const TraceSource&) = delete;
+
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  void reset() override { position_ = 0; }
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return view_.size() - position_;
+  }
+
+ private:
+  Trace owned_;
+  std::span<const Request> view_;
+  std::size_t position_ = 0;
+};
+
+/// Streams a save_trace-format file from disk without slurping it, so
+/// `treecache run --trace` handles traces far larger than memory. Parse
+/// errors carry the 1-based line number (see parse_request_line).
+class FileTraceSource final : public RequestSource {
+ public:
+  /// Opens `path`; throws CheckFailure if it cannot be opened. Requests to
+  /// nodes >= tree_size are rejected while streaming.
+  FileTraceSource(std::string path, std::size_t tree_size);
+
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  void reset() override;
+
+ private:
+  std::string path_;
+  std::size_t tree_size_;
+  std::ifstream in_;
+  std::size_t line_number_ = 0;
+};
+
+inline constexpr std::size_t kMaterializeAll =
+    std::numeric_limits<std::size_t>::max();
+
+/// Drains up to `max_requests` requests into a Trace — the bridge from the
+/// streaming world to offline evaluators, trace files and span-based tests.
+[[nodiscard]] Trace materialize(RequestSource& source,
+                                std::size_t max_requests = kMaterializeAll);
+
+}  // namespace treecache

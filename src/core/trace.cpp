@@ -1,8 +1,8 @@
 #include "core/trace.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
-#include <unordered_set>
 
 #include "util/check.hpp"
 
@@ -30,24 +30,45 @@ void append_repeated(Trace& trace, Request request, std::size_t count) {
   trace.insert(trace.end(), count, request);
 }
 
-void save_trace(std::ostream& os, const Trace& trace) {
+void save_trace(std::ostream& os, std::span<const Request> trace) {
   for (const Request& r : trace) {
     os << (r.sign == Sign::kPositive ? '+' : '-') << r.node << '\n';
   }
 }
 
+Request parse_request_line(const std::string& line, std::size_t line_number,
+                           std::size_t tree_size) {
+  const auto fail = [&](const std::string& what) -> CheckFailure {
+    return CheckFailure("trace line " + std::to_string(line_number) + ": " +
+                        what + " (got \"" + line + "\")");
+  };
+  if (line.empty() || (line[0] != '+' && line[0] != '-')) {
+    throw fail("request must start with + or -");
+  }
+  const Sign sign = line[0] == '+' ? Sign::kPositive : Sign::kNegative;
+  std::uint64_t node = 0;
+  const char* const first = line.data() + 1;
+  const char* const last = line.data() + line.size();
+  const auto [end, ec] = std::from_chars(first, last, node);
+  if (ec != std::errc{} || end != last || first == last) {
+    throw fail("expected an unsigned node id after the sign");
+  }
+  if (node >= tree_size) {
+    throw fail("node " + std::to_string(node) +
+               " lies outside the tree (size " + std::to_string(tree_size) +
+               ")");
+  }
+  return Request{static_cast<NodeId>(node), sign};
+}
+
 Trace load_trace(std::istream& is, std::size_t tree_size) {
   Trace trace;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty()) continue;
-    TC_CHECK(line[0] == '+' || line[0] == '-', "request must start with +/-");
-    const Sign sign = line[0] == '+' ? Sign::kPositive : Sign::kNegative;
-    std::size_t pos = 0;
-    const unsigned long node = std::stoul(line.substr(1), &pos);
-    TC_CHECK(pos + 1 == line.size(), "trailing garbage in trace line");
-    TC_CHECK(node < tree_size, "request to node outside the tree");
-    trace.push_back(Request{static_cast<NodeId>(node), sign});
+    trace.push_back(parse_request_line(line, line_number, tree_size));
   }
   return trace;
 }

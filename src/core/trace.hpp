@@ -2,6 +2,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,10 +35,17 @@ struct TraceStats {
 void append_repeated(Trace& trace, Request request, std::size_t count);
 
 /// Serializes to a text stream, one request per line: "+12" / "-3".
-void save_trace(std::ostream& os, const Trace& trace);
+void save_trace(std::ostream& os, std::span<const Request> trace);
 
-/// Parses the save_trace format. Throws CheckFailure on malformed lines or
-/// node ids >= tree_size.
+/// Parses one non-empty line of the save_trace format ("+12" / "-3").
+/// Throws CheckFailure naming the 1-based `line_number` (and echoing the
+/// offending line) on malformed input or node ids >= tree_size.
+[[nodiscard]] Request parse_request_line(const std::string& line,
+                                         std::size_t line_number,
+                                         std::size_t tree_size);
+
+/// Parses the save_trace format, streaming line by line (empty lines are
+/// skipped). Errors carry the line number via parse_request_line.
 [[nodiscard]] Trace load_trace(std::istream& is, std::size_t tree_size);
 
 }  // namespace treecache

@@ -46,8 +46,10 @@ const RuleTree& shared_rule_tree(const sim::Params& params) {
 
 namespace {
 
-Trace fib_trace(const Tree& tree, const sim::Params& p, Rng& rng,
-                double update_probability) {
+std::unique_ptr<RequestSource> fib_source(const Tree& tree,
+                                          const sim::Params& p,
+                                          std::uint64_t seed,
+                                          double update_probability) {
   const RuleTree& rules = shared_rule_tree(p);
   TC_CHECK(tree.parent_array() == rules.tree.parent_array(),
            "fib* workloads run on their own RIB rule tree; build it with "
@@ -58,27 +60,29 @@ Trace fib_trace(const Tree& tree, const sim::Params& p, Rng& rng,
       .zipf_skew = p.get_double("skew", 1.0),
       .update_probability = update_probability,
       .alpha = p.alpha()};
-  return make_fib_workload(rules, config, rng).trace;
+  // shared_rule_tree entries live for the process, so the source's
+  // reference into the cache stays valid however long it streams.
+  return std::make_unique<FibTraceSource>(rules, config, Rng(seed));
 }
 
 const sim::WorkloadRegistrar kRegisterFib{
     "fib",
     "RIB rule tree: Zipf packet LPM traffic + BGP-style alpha-chunk updates",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return fib_trace(tree, p, rng, p.get_double("update-prob", 0.01));
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed) {
+      return fib_source(tree, p, seed, p.get_double("update-prob", 0.01));
     }};
 
 const sim::WorkloadRegistrar kRegisterFibStable{
     "fib-stable", "RIB rule tree: pure Zipf packet traffic, no rule updates",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return fib_trace(tree, p, rng, 0.0);
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed) {
+      return fib_source(tree, p, seed, 0.0);
     }};
 
 const sim::WorkloadRegistrar kRegisterFibChurn{
     "fib-churn",
     "RIB rule tree: update-heavy FIB stream (default update-prob 0.05)",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return fib_trace(tree, p, rng, p.get_double("update-prob", 0.05));
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed) {
+      return fib_source(tree, p, seed, p.get_double("update-prob", 0.05));
     }};
 
 }  // namespace

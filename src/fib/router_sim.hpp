@@ -1,4 +1,7 @@
-// Controller/switch simulation of Figure 1.
+// Controller/switch simulation of Figure 1 — the self-contained reference
+// event loop. Production paths run the same loop through the unified
+// driver instead (fib/router_source.hpp + sim::run_source); equality of
+// the two is enforced by tests/test_fib_engine.cpp.
 //
 // The switch holds the cached subforest of rules; packets are looked up by
 // LPM over the cached rules only. A miss (no cached rule matches beyond the

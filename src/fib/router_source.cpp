@@ -1,0 +1,107 @@
+#include "fib/router_source.hpp"
+
+#include <algorithm>
+
+#include "core/online_algorithm.hpp"
+
+namespace treecache::fib {
+
+RouterSource::RouterSource(const RuleTree& rules,
+                           const RouterSimConfig& config)
+    : rules_(&rules),
+      config_(config),
+      rng_(config.seed),
+      sampler_(rules, config.zipf_skew, rng_),
+      start_rng_(rng_),
+      cached_(rules.tree.size(), 0) {
+  // Only packet events advance stats_.packets, so an update probability of
+  // 1 (or more) would never terminate the event loop.
+  TC_CHECK(config_.update_probability >= 0.0 &&
+               config_.update_probability < 1.0,
+           "update probability must lie in [0, 1) so packet events can "
+           "finish the run");
+}
+
+std::size_t RouterSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  // A pending update chunk is predetermined: drain it (or as much as fits)
+  // and return, so its outcomes are observed before the next event reads
+  // the cache mirror.
+  while (pending_ > 0 && n < buffer.size()) {
+    --pending_;
+    buffer[n++] = negative(pending_node_);
+  }
+  if (n > 0) return n;
+
+  while (stats_.packets < config_.packets) {
+    if (rng_.chance(config_.update_probability)) {
+      // A BGP-style update to a Zipf-popular rule. The controller updates
+      // its full table for free; a cached copy on the switch costs α,
+      // modelled as α negative requests (Appendix B).
+      const NodeId rule = sampler_.sample_rule(rng_);
+      ++stats_.updates;
+      if (cached(rule)) ++stats_.cached_updates;
+      pending_node_ = rule;
+      pending_ = config_.alpha;
+      while (pending_ > 0 && n < buffer.size()) {
+        --pending_;
+        buffer[n++] = negative(pending_node_);
+      }
+      return n;
+    }
+
+    const Address addr = sampler_.sample_address(rng_);
+    const NodeId full_match = rules_->lpm(addr);
+    // The switch looks up the packet over its cached rules only.
+    const auto cached_match = rules_->trie.lookup_if(
+        addr, [&](RuleId rule) { return cached(rule); });
+    ++stats_.packets;
+
+    if (cached_match.has_value()) {
+      if (*cached_match == full_match) {
+        // Forwarding is correct; the algorithm never sees the packet.
+        ++stats_.hits;
+        continue;
+      }
+      // Mis-forwarded. The controller detects the stray flow and detours
+      // it, so the online algorithm sees (and is charged for) the same
+      // positive request a miss would have produced.
+      ++stats_.forwarding_errors;
+    } else {
+      // Only the artificial default rule matched: detour via controller.
+      ++stats_.misses;
+    }
+    buffer[n++] = positive(full_match);
+    // Stop here: the fetch this request may trigger changes the mirror
+    // the next packet lookup depends on.
+    return n;
+  }
+  return 0;
+}
+
+void RouterSource::reset() {
+  rng_ = start_rng_;
+  std::ranges::fill(cached_, 0);
+  stats_ = {};
+  pending_ = 0;
+}
+
+void RouterSource::observe(const StepOutcome& outcome) {
+  for (const NodeId v : outcome.also_evicted) cached_[v] = 0;
+  switch (outcome.change) {
+    case ChangeKind::kNone:
+      break;
+    case ChangeKind::kFetch:
+      for (const NodeId v : outcome.changed) cached_[v] = 1;
+      break;
+    case ChangeKind::kEvict:
+      for (const NodeId v : outcome.changed) cached_[v] = 0;
+      break;
+    case ChangeKind::kPhaseRestart:
+      // The cache was emptied wholesale.
+      std::ranges::fill(cached_, 0);
+      break;
+  }
+}
+
+}  // namespace treecache::fib

@@ -1,0 +1,56 @@
+// The Figure-1 switch/controller event loop as a closed-loop RequestSource.
+//
+// RouterSource replays exactly the event stream of run_router_sim
+// (fib/router_sim.hpp, the reference implementation — equality is enforced
+// by tests), but instead of stepping the algorithm itself it emits the
+// requests the controller would feed it and lets the shared sim::run_source
+// driver do the stepping. The switch-side state it needs — "is this rule
+// cached right now?" for LPM over the cached subforest and for the
+// cached-update statistic — is mirrored from the StepOutcome feedback the
+// driver hands to observe() after every round, so the source never touches
+// the algorithm.
+//
+// Closed-loop batching contract: a pending α-chunk is predetermined and may
+// be batched, but after emitting a packet request fill() returns — the next
+// event reads the mirror, which the not-yet-observed outcome may change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request_source.hpp"
+#include "fib/router_sim.hpp"
+#include "fib/traffic.hpp"
+
+namespace treecache::fib {
+
+class RouterSource final : public RequestSource {
+ public:
+  /// `rules` must outlive the source. The algorithm driven against this
+  /// source must start from an empty cache (a fresh or reset() instance)
+  /// on the same rule tree.
+  RouterSource(const RuleTree& rules, const RouterSimConfig& config);
+
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  void reset() override;
+  void observe(const StepOutcome& outcome) override;
+
+  /// Event-loop statistics accumulated so far. `algorithm_cost` is left
+  /// zero — the caller owns the algorithm and its cost.
+  [[nodiscard]] const RouterSimResult& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool cached(NodeId v) const { return cached_[v] != 0; }
+
+  const RuleTree* rules_;
+  RouterSimConfig config_;
+  Rng rng_;               // seeded, then consumed by the sampler's setup
+  PacketSampler sampler_;
+  Rng start_rng_;         // rng_ state AFTER the sampler's permutation draw
+  std::vector<std::uint8_t> cached_;  // mirror of the algorithm's cache
+  RouterSimResult stats_;
+  NodeId pending_node_ = 0;
+  std::uint64_t pending_ = 0;  // negatives left in the current α-chunk
+};
+
+}  // namespace treecache::fib

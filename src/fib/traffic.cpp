@@ -36,6 +36,43 @@ Address PacketSampler::sample_address(Rng& rng) const {
   return addr;
 }
 
+FibTraceSource::FibTraceSource(const RuleTree& rules,
+                               const FibWorkloadConfig& config, Rng rng)
+    : rules_(&rules),
+      config_(config),
+      sampler_(rules, config.zipf_skew, rng),
+      start_rng_(rng),
+      rng_(rng) {
+  TC_CHECK(config_.alpha >= 1, "alpha must be positive");
+}
+
+std::size_t FibTraceSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  while (n < buffer.size()) {
+    if (pending_ > 0) {
+      --pending_;
+      buffer[n++] = negative(pending_node_);
+      continue;
+    }
+    if (events_done_ == config_.events) break;
+    ++events_done_;
+    if (rng_.chance(config_.update_probability)) {
+      pending_node_ = sampler_.sample_rule(rng_);
+      pending_ = config_.alpha;
+    } else {
+      buffer[n++] =
+          positive(rules_->lpm(sampler_.sample_address(rng_)));
+    }
+  }
+  return n;
+}
+
+void FibTraceSource::reset() {
+  rng_ = start_rng_;
+  events_done_ = 0;
+  pending_ = 0;
+}
+
 ChunkedTrace make_fib_workload(const RuleTree& rules,
                                const FibWorkloadConfig& config, Rng& rng) {
   TC_CHECK(config.alpha >= 1, "alpha must be positive");

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "core/request_source.hpp"
 #include "core/trace.hpp"
 #include "fib/rule_tree.hpp"
 #include "util/rng.hpp"
@@ -45,8 +46,36 @@ struct FibWorkloadConfig {
 /// Packets become positive requests to their full-table LPM node; updates
 /// become α-chunks of negative requests to a Zipf-popular rule. Chunk
 /// boundaries are recorded for the Appendix-B canonicalization experiment.
+/// (Eager variant of FibTraceSource; kept for chunk-aware consumers —
+/// both draw the identical stream from the same RNG state, enforced by
+/// tests/test_request_source.cpp.)
 [[nodiscard]] ChunkedTrace make_fib_workload(const RuleTree& rules,
                                              const FibWorkloadConfig& config,
                                              Rng& rng);
+
+/// Streaming FIB workload: the open-loop packet/update stream of
+/// make_fib_workload as a pull-based source, emitting `config.events`
+/// events lazily (one positive request per packet, an α-chunk of negative
+/// requests per update). `rules` must outlive the source.
+class FibTraceSource final : public RequestSource {
+ public:
+  FibTraceSource(const RuleTree& rules, const FibWorkloadConfig& config,
+                 Rng rng);
+
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  void reset() override;
+  // size_hint stays nullopt: events expand to 1 or alpha requests, so the
+  // exact request count is unknown until the stream ends.
+
+ private:
+  const RuleTree* rules_;
+  FibWorkloadConfig config_;
+  PacketSampler sampler_;
+  Rng start_rng_;  // state AFTER the sampler's permutation draw
+  Rng rng_;
+  std::size_t events_done_ = 0;
+  NodeId pending_node_ = 0;
+  std::uint64_t pending_ = 0;  // negatives left in the current chunk
+};
 
 }  // namespace treecache::fib

@@ -1,6 +1,8 @@
 #include "sim/fib_engine.hpp"
 
 #include "fib/fib_workloads.hpp"
+#include "fib/router_source.hpp"
+#include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "util/json.hpp"
 
@@ -20,9 +22,13 @@ FibScenarioResult run_fib_scenario(const fib::RuleTree& rules,
                                    const FibScenario& scenario) {
   const auto alg =
       make_algorithm(scenario.algorithm, rules.tree, scenario.params);
-  FibScenarioResult out{.scenario = scenario, .router = {}};
-  out.router = fib::run_router_sim(
-      rules, *alg, fib_router_config(scenario.params, scenario.seed));
+  // The closed-loop router is just another RequestSource: the shared
+  // run_source driver steps the algorithm and feeds outcomes back.
+  fib::RouterSource source(rules,
+                           fib_router_config(scenario.params, scenario.seed));
+  (void)run_source(*alg, source);
+  FibScenarioResult out{.scenario = scenario, .router = source.stats()};
+  out.router.algorithm_cost = alg->cost();
   return out;
 }
 

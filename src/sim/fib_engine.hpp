@@ -1,5 +1,8 @@
-// Closed-loop FIB scenario engine — the registry-resolvable face of
-// fib/router_sim (the paper's Figure-1 switch + controller event loop).
+// Closed-loop FIB scenario engine — the registry-resolvable face of the
+// paper's Figure-1 switch + controller event loop, driven through the
+// unified sim::run_source driver over a fib::RouterSource (the closed-loop
+// RequestSource; fib/router_sim.hpp keeps the self-contained reference
+// loop the source is tested against).
 //
 // A FibScenario names an algorithm (AlgorithmRegistry key) and carries one
 // Params bag using the same keys as the registered fib* workloads: the RIB

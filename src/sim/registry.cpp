@@ -110,9 +110,17 @@ std::unique_ptr<OnlineAlgorithm> make_algorithm(const std::string& name,
   return AlgorithmRegistry::instance().at(name)(tree, params);
 }
 
+std::unique_ptr<RequestSource> make_source(const std::string& name,
+                                           const Tree& tree,
+                                           const Params& params,
+                                           std::uint64_t seed) {
+  return WorkloadRegistry::instance().at(name)(tree, params, seed);
+}
+
 Trace make_workload(const std::string& name, const Tree& tree,
-                    const Params& params, Rng& rng) {
-  return WorkloadRegistry::instance().at(name)(tree, params, rng);
+                    const Params& params, std::uint64_t seed) {
+  const auto source = make_source(name, tree, params, seed);
+  return materialize(*source);
 }
 
 std::uint64_t evaluate_offline(const std::string& name, const Tree& tree,

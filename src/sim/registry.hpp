@@ -1,10 +1,17 @@
 // Registry-driven simulator core.
 //
-// Online algorithms, workload generators, offline evaluators and paging
+// Online algorithms, workload sources, offline evaluators and paging
 // policies self-register behind name-keyed factories, so the simulator, the
 // CLI, parameter sweeps and the benchmark harness all resolve
 // algorithm × workload × parameter grids from one table instead of
 // hand-wired #include lists.
+//
+// Workload factories are STREAMING: they return a pull-based
+// std::unique_ptr<RequestSource> (core/request_source.hpp), not a
+// materialized Trace, so `sim::run_source` drives arbitrarily long runs in
+// O(1) memory and closed-loop sources (e.g. the FIB router) plug into the
+// same driver. `make_workload` materializes a source for consumers that
+// genuinely need a vector (offline evaluators, trace files, span tests).
 //
 // Adding a new algorithm takes three steps and touches only its own files:
 //   1. implement `class MyAlg final : public OnlineAlgorithm` anywhere;
@@ -17,8 +24,42 @@
 //            }};
 //        }  // namespace
 //   3. list my_alg.cpp in src/CMakeLists.txt.
-// No edits to src/sim/ or tools/ are required; `treecache_cli run
-// --alg myalg` and tests/test_registry.cpp pick it up automatically.
+//
+// Adding a streaming workload is the same dance with a WorkloadRegistrar.
+// Implement fill() (emit up to buffer.size() requests, return how many;
+// 0 = exhausted) and reset() (replay the identical stream), then register:
+//   class PingPongSource final : public RequestSource {
+//    public:
+//     PingPongSource(const Tree& tree, std::uint64_t length)
+//         : tree_(&tree), remaining_(length) {}
+//     std::size_t fill(std::span<Request> buffer) override {
+//       std::size_t n = 0;
+//       while (n < buffer.size() && remaining_ > 0) {
+//         const NodeId leaf = remaining_-- % 2 ? tree_->leaves().front()
+//                                              : tree_->leaves().back();
+//         buffer[n++] = positive(leaf);
+//       }
+//       return n;
+//     }
+//     void reset() override { remaining_ = length_; }  // + store length_
+//     std::optional<std::uint64_t> size_hint() const override {
+//       return remaining_;
+//     }
+//    ...
+//   };
+//   namespace {
+//   const sim::WorkloadRegistrar kReg{
+//       "pingpong", "alternates between the two outermost leaves",
+//       [](const Tree& t, const sim::Params& p, std::uint64_t /*seed*/) {
+//         return std::make_unique<PingPongSource>(
+//             t, p.get_u64("length", 100000));
+//       }};
+//   }  // namespace
+// No edits to src/sim/ or tools/ are required; `treecache run --workload
+// pingpong --length 1000000000` streams it, tests/test_registry.cpp and
+// the streamed≡materialized suite in tests/test_request_source.cpp pick it
+// up automatically, and the combinators (workload/combinators.hpp: concat,
+// mix, churn-inject) can name it as a part.
 #pragma once
 
 #include <functional>
@@ -29,9 +70,9 @@
 
 #include "baselines/paging.hpp"
 #include "core/online_algorithm.hpp"
+#include "core/request_source.hpp"
 #include "core/trace.hpp"
 #include "tree/tree.hpp"
-#include "util/rng.hpp"
 
 namespace treecache::sim {
 
@@ -85,10 +126,12 @@ class Params {
 using AlgorithmFactory = std::function<std::unique_ptr<OnlineAlgorithm>(
     const Tree& tree, const Params& params)>;
 
-/// Generates a request trace over `tree` from `params` ("length", "skew",
-/// "neg", ...) using the caller's RNG stream.
-using WorkloadFactory =
-    std::function<Trace(const Tree& tree, const Params& params, Rng& rng)>;
+/// Builds a streaming request source over `tree` from `params` ("length",
+/// "skew", "neg", ...). All randomness derives from `seed`, so the source
+/// replays the identical stream after reset(). The source may keep a
+/// reference to `tree`, which must outlive it.
+using WorkloadFactory = std::function<std::unique_ptr<RequestSource>(
+    const Tree& tree, const Params& params, std::uint64_t seed)>;
 
 /// Computes an offline cost/bound for a (tree, trace) instance — exact
 /// offline optimum, static-cache optimum, etc.
@@ -141,8 +184,12 @@ using PagingRegistry = Registry<PagingFactory>;
 /// Convenience lookups: resolve a name and invoke the factory.
 [[nodiscard]] std::unique_ptr<OnlineAlgorithm> make_algorithm(
     const std::string& name, const Tree& tree, const Params& params);
+[[nodiscard]] std::unique_ptr<RequestSource> make_source(
+    const std::string& name, const Tree& tree, const Params& params,
+    std::uint64_t seed);
+/// make_source materialized into a Trace (offline evaluators, span tests).
 [[nodiscard]] Trace make_workload(const std::string& name, const Tree& tree,
-                                  const Params& params, Rng& rng);
+                                  const Params& params, std::uint64_t seed);
 [[nodiscard]] std::uint64_t evaluate_offline(const std::string& name,
                                              const Tree& tree,
                                              const Trace& trace,

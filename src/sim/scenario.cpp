@@ -7,12 +7,13 @@ namespace treecache::sim {
 
 ScenarioResult run_scenario(const Tree& tree, const Scenario& scenario,
                             bool validate_every_step) {
-  Rng rng(scenario.seed);
-  const Trace trace =
-      make_workload(scenario.workload, tree, scenario.params, rng);
+  // Workloads stream: the scenario never materializes its trace, so the
+  // run's memory is O(tree) regardless of params["length"].
+  const auto source =
+      make_source(scenario.workload, tree, scenario.params, scenario.seed);
   const auto alg = make_algorithm(scenario.algorithm, tree, scenario.params);
   ScenarioResult out{.scenario = scenario, .run = {}};
-  out.run = run_trace(*alg, trace, {}, validate_every_step);
+  out.run = run_source(*alg, *source, {}, validate_every_step);
   return out;
 }
 

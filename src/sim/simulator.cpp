@@ -1,48 +1,64 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace treecache::sim {
 
-RunResult run_trace(OnlineAlgorithm& alg, std::span<const Request> trace,
-                    const StepObserver& observer, bool validate_every_step) {
+RunResult run_source(OnlineAlgorithm& alg, RequestSource& source,
+                     const StepObserver& observer, bool validate_every_step) {
   RunResult result;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const StepOutcome out = alg.step(trace[i]);
-    ++result.rounds;
-    if (out.paid) {
-      ++result.paid_requests;
-      if (trace[i].sign == Sign::kPositive) {
-        ++result.paid_positive;
-      } else {
-        ++result.paid_negative;
+  std::array<Request, 4096> buffer;
+  for (;;) {
+    const std::size_t n = source.fill(buffer);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Request request = buffer[i];
+      const StepOutcome out = alg.step(request);
+      ++result.rounds;
+      if (out.paid) {
+        ++result.paid_requests;
+        if (request.sign == Sign::kPositive) {
+          ++result.paid_positive;
+        } else {
+          ++result.paid_negative;
+        }
       }
+      result.evicted_nodes += out.also_evicted.size();
+      switch (out.change) {
+        case ChangeKind::kNone:
+          break;
+        case ChangeKind::kFetch:
+          result.fetched_nodes += out.changed.size();
+          break;
+        case ChangeKind::kEvict:
+          result.evicted_nodes += out.changed.size();
+          break;
+        case ChangeKind::kPhaseRestart:
+          ++result.phase_restarts;
+          result.restart_evictions += out.changed.size();
+          break;
+      }
+      result.max_cache_size =
+          std::max(result.max_cache_size, alg.cache().size());
+      if (validate_every_step) {
+        TC_CHECK(alg.cache().is_valid(), "cache stopped being a subforest");
+      }
+      // Feedback before the observer: the source's view must be current by
+      // the time anything else inspects the round.
+      source.observe(out);
+      if (observer) observer(result.rounds, request, out);
     }
-    result.evicted_nodes += out.also_evicted.size();
-    switch (out.change) {
-      case ChangeKind::kNone:
-        break;
-      case ChangeKind::kFetch:
-        result.fetched_nodes += out.changed.size();
-        break;
-      case ChangeKind::kEvict:
-        result.evicted_nodes += out.changed.size();
-        break;
-      case ChangeKind::kPhaseRestart:
-        ++result.phase_restarts;
-        result.restart_evictions += out.changed.size();
-        break;
-    }
-    result.max_cache_size = std::max(result.max_cache_size,
-                                     alg.cache().size());
-    if (validate_every_step) {
-      TC_CHECK(alg.cache().is_valid(), "cache stopped being a subforest");
-    }
-    if (observer) observer(i + 1, trace[i], out);
   }
   result.cost = alg.cost();
   result.final_cache_size = alg.cache().size();
   return result;
+}
+
+RunResult run_trace(OnlineAlgorithm& alg, std::span<const Request> trace,
+                    const StepObserver& observer, bool validate_every_step) {
+  TraceSource source(trace);
+  return run_source(alg, source, observer, validate_every_step);
 }
 
 }  // namespace treecache::sim

@@ -1,11 +1,14 @@
-// Trace-driven simulation of any OnlineAlgorithm with aggregate statistics.
+// The one driver every experiment runs through: pulls requests from a
+// RequestSource (open-loop trace generators and closed-loop feedback
+// sources alike), steps the algorithm, feeds outcomes back to the source,
+// and aggregates statistics. run_trace is the span convenience over it.
 #pragma once
 
 #include <functional>
 #include <span>
 
 #include "core/online_algorithm.hpp"
-#include "core/trace.hpp"
+#include "core/request_source.hpp"
 
 namespace treecache::sim {
 
@@ -21,15 +24,27 @@ struct RunResult {
   std::uint64_t restart_evictions = 0;  // nodes evicted by restarts
   std::size_t max_cache_size = 0;
   std::size_t final_cache_size = 0;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 /// Called after every round with (1-based round, request, outcome).
 using StepObserver =
     std::function<void(std::size_t, Request, const StepOutcome&)>;
 
-/// Runs the trace from the algorithm's current state. When
+/// Runs the source to exhaustion from the algorithm's current state: pulls
+/// batches via RequestSource::fill, steps each request, and hands every
+/// StepOutcome back to source.observe() (closed-loop sources depend on
+/// this). Memory use is O(1) in the stream length. When
 /// `validate_every_step` is set, the cache is checked to be a subforest
-/// after every round (O(n) per round — test-sized traces only).
+/// after every round (O(n) per round — test-sized runs only).
+[[nodiscard]] RunResult run_source(OnlineAlgorithm& alg,
+                                   RequestSource& source,
+                                   const StepObserver& observer = {},
+                                   bool validate_every_step = false);
+
+/// Convenience: runs an in-memory trace through run_source via a borrowing
+/// TraceSource, so both paths share one accounting loop.
 [[nodiscard]] RunResult run_trace(OnlineAlgorithm& alg,
                                   std::span<const Request> trace,
                                   const StepObserver& observer = {},

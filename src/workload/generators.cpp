@@ -4,7 +4,6 @@
 #include <numeric>
 
 #include "sim/registry.hpp"
-#include "workload/zipf.hpp"
 
 namespace treecache::workload {
 
@@ -20,94 +19,185 @@ std::vector<NodeId> random_rank_assignment(std::span<const NodeId> nodes,
   rng.shuffle(ranked);
   return ranked;
 }
+
+std::vector<NodeId> all_nodes(const Tree& tree) {
+  std::vector<NodeId> all(tree.size());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  return all;
+}
 }  // namespace
+
+UniformSource::UniformSource(const Tree& tree, std::uint64_t length,
+                             double negative_fraction, Rng rng)
+    : tree_(&tree),
+      length_(length),
+      negative_fraction_(negative_fraction),
+      start_rng_(rng),
+      rng_(rng),
+      remaining_(length) {}
+
+std::size_t UniformSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  while (n < buffer.size() && remaining_ > 0) {
+    --remaining_;
+    buffer[n++] = Request{static_cast<NodeId>(rng_.below(tree_->size())),
+                          draw_sign(negative_fraction_, rng_)};
+  }
+  return n;
+}
+
+void UniformSource::reset() {
+  rng_ = start_rng_;
+  remaining_ = length_;
+}
+
+ZipfSource::ZipfSource(const Tree& tree, std::uint64_t length, double skew,
+                       double negative_fraction, bool leaves_only, Rng rng)
+    : length_(length),
+      negative_fraction_(negative_fraction),
+      ranked_(random_rank_assignment(
+          leaves_only ? tree.leaves() : all_nodes(tree), rng)),
+      sampler_(ranked_.size(), skew),
+      start_rng_(rng),  // state AFTER the permutation draw: reset replays
+      rng_(rng),        // sampling only, over the one fixed ranking
+      remaining_(length) {}
+
+std::size_t ZipfSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  while (n < buffer.size() && remaining_ > 0) {
+    --remaining_;
+    buffer[n++] = Request{ranked_[sampler_.sample(rng_)],
+                          draw_sign(negative_fraction_, rng_)};
+  }
+  return n;
+}
+
+void ZipfSource::reset() {
+  rng_ = start_rng_;
+  remaining_ = length_;
+}
+
+HotspotSource::HotspotSource(const Tree& tree, std::uint64_t length,
+                             double move_probability,
+                             double negative_fraction, Rng rng)
+    : tree_(&tree),
+      length_(length),
+      move_probability_(move_probability),
+      negative_fraction_(negative_fraction),
+      start_rng_(rng),
+      rng_(rng),
+      hot_(static_cast<NodeId>(rng_.below(tree.size()))),
+      remaining_(length) {
+  // hot_ consumed one draw from rng_; start_rng_ deliberately keeps the
+  // pre-draw state so reset() re-derives the same initial hotspot.
+}
+
+std::size_t HotspotSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  while (n < buffer.size() && remaining_ > 0) {
+    --remaining_;
+    if (rng_.chance(move_probability_)) {
+      hot_ = static_cast<NodeId>(rng_.below(tree_->size()));
+    }
+    // Request a node near the hotspot: a uniform node of T(hot) (via the
+    // contiguous preorder interval) or an ancestor occasionally.
+    NodeId v = hot_;
+    if (tree_->subtree_size(hot_) > 1 && rng_.chance(0.7)) {
+      const auto pre = tree_->preorder();
+      v = pre[tree_->preorder_index(hot_) +
+              rng_.below(tree_->subtree_size(hot_))];
+    } else if (rng_.chance(0.3)) {
+      const auto path = tree_->path_to_root(hot_);
+      v = path[rng_.below(path.size())];
+    }
+    buffer[n++] = Request{v, draw_sign(negative_fraction_, rng_)};
+  }
+  return n;
+}
+
+void HotspotSource::reset() {
+  rng_ = start_rng_;
+  hot_ = static_cast<NodeId>(rng_.below(tree_->size()));
+  remaining_ = length_;
+}
+
+UpdateChurnSource::UpdateChurnSource(const Tree& tree, std::uint64_t length,
+                                     double skew, std::uint64_t alpha,
+                                     double update_probability, Rng rng)
+    : length_(length),
+      alpha_(alpha),
+      update_probability_(update_probability),
+      ranked_(random_rank_assignment(all_nodes(tree), rng)),
+      sampler_(ranked_.size(), skew),
+      start_rng_(rng),
+      rng_(rng),
+      remaining_(length) {
+  TC_CHECK(alpha_ >= 1, "alpha must be positive");
+}
+
+std::size_t UpdateChurnSource::fill(std::span<Request> buffer) {
+  std::size_t n = 0;
+  while (n < buffer.size() && remaining_ > 0) {
+    if (pending_ > 0) {
+      --pending_;
+      --remaining_;
+      buffer[n++] = negative(pending_node_);
+      continue;
+    }
+    const NodeId v = ranked_[sampler_.sample(rng_)];
+    if (rng_.chance(update_probability_)) {
+      // One rule update = alpha negative requests (Appendix B); the last
+      // chunk truncates so exactly `length` requests are emitted.
+      pending_node_ = v;
+      pending_ = alpha_;
+    } else {
+      --remaining_;
+      buffer[n++] = positive(v);
+    }
+  }
+  return n;
+}
+
+void UpdateChurnSource::reset() {
+  rng_ = start_rng_;
+  pending_ = 0;
+  remaining_ = length_;
+}
 
 Trace uniform_trace(const Tree& tree, std::size_t length,
                     double negative_fraction, Rng& rng) {
-  Trace trace;
-  trace.reserve(length);
-  for (std::size_t i = 0; i < length; ++i) {
-    trace.push_back(Request{static_cast<NodeId>(rng.below(tree.size())),
-                            draw_sign(negative_fraction, rng)});
-  }
-  return trace;
+  UniformSource source(tree, length, negative_fraction, rng.split());
+  return materialize(source);
 }
 
 Trace zipf_trace(const Tree& tree, std::size_t length, double skew,
                  double negative_fraction, Rng& rng) {
-  std::vector<NodeId> all(tree.size());
-  std::iota(all.begin(), all.end(), NodeId{0});
-  const auto ranked = random_rank_assignment(all, rng);
-  const ZipfSampler sampler(ranked.size(), skew);
-  Trace trace;
-  trace.reserve(length);
-  for (std::size_t i = 0; i < length; ++i) {
-    trace.push_back(Request{ranked[sampler.sample(rng)],
-                            draw_sign(negative_fraction, rng)});
-  }
-  return trace;
+  ZipfSource source(tree, length, skew, negative_fraction,
+                    /*leaves_only=*/false, rng.split());
+  return materialize(source);
 }
 
 Trace zipf_leaf_trace(const Tree& tree, std::size_t length, double skew,
                       double negative_fraction, Rng& rng) {
-  const auto leaves = tree.leaves();
-  const auto ranked = random_rank_assignment(leaves, rng);
-  const ZipfSampler sampler(ranked.size(), skew);
-  Trace trace;
-  trace.reserve(length);
-  for (std::size_t i = 0; i < length; ++i) {
-    trace.push_back(Request{ranked[sampler.sample(rng)],
-                            draw_sign(negative_fraction, rng)});
-  }
-  return trace;
+  ZipfSource source(tree, length, skew, negative_fraction,
+                    /*leaves_only=*/true, rng.split());
+  return materialize(source);
 }
 
 Trace hotspot_trace(const Tree& tree, std::size_t length,
                     double move_probability, double negative_fraction,
                     Rng& rng) {
-  Trace trace;
-  trace.reserve(length);
-  auto hot = static_cast<NodeId>(rng.below(tree.size()));
-  for (std::size_t i = 0; i < length; ++i) {
-    if (rng.chance(move_probability)) {
-      hot = static_cast<NodeId>(rng.below(tree.size()));
-    }
-    // Request a node near the hotspot: a uniform node of T(hot) (by
-    // rejection from the preorder interval) or an ancestor occasionally.
-    NodeId v = hot;
-    if (tree.subtree_size(hot) > 1 && rng.chance(0.7)) {
-      // T(hot) occupies a contiguous preorder interval starting at hot.
-      const auto pre = tree.preorder();
-      v = pre[tree.preorder_index(hot) + rng.below(tree.subtree_size(hot))];
-    } else if (rng.chance(0.3)) {
-      const auto path = tree.path_to_root(hot);
-      v = path[rng.below(path.size())];
-    }
-    trace.push_back(Request{v, draw_sign(negative_fraction, rng)});
-  }
-  return trace;
+  HotspotSource source(tree, length, move_probability, negative_fraction,
+                       rng.split());
+  return materialize(source);
 }
 
 Trace update_churn_trace(const Tree& tree, std::size_t length, double skew,
                          std::uint64_t alpha, double update_probability,
                          Rng& rng) {
-  std::vector<NodeId> all(tree.size());
-  std::iota(all.begin(), all.end(), NodeId{0});
-  const auto ranked = random_rank_assignment(all, rng);
-  const ZipfSampler sampler(ranked.size(), skew);
-  Trace trace;
-  trace.reserve(length);
-  while (trace.size() < length) {
-    const NodeId v = ranked[sampler.sample(rng)];
-    if (rng.chance(update_probability)) {
-      // One rule update = alpha negative requests (Appendix B).
-      append_repeated(trace, negative(v),
-                      std::min<std::size_t>(alpha, length - trace.size()));
-    } else {
-      trace.push_back(positive(v));
-    }
-  }
-  return trace;
+  UpdateChurnSource source(tree, length, skew, alpha, update_probability,
+                           rng.split());
+  return materialize(source);
 }
 
 // Registry adapters. Shared parameter keys: length (default 100000),
@@ -117,41 +207,48 @@ namespace {
 
 const sim::WorkloadRegistrar kRegisterUniform{
     "uniform", "uniformly random nodes, Bernoulli(neg) negative requests",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return uniform_trace(tree, p.get_u64("length", 100000),
-                           p.get_double("neg", 0.2), rng);
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed)
+        -> std::unique_ptr<RequestSource> {
+      return std::make_unique<UniformSource>(tree,
+                                             p.get_u64("length", 100000),
+                                             p.get_double("neg", 0.2),
+                                             Rng(seed));
     }};
 
 const sim::WorkloadRegistrar kRegisterZipf{
     "zipf", "Zipf(skew)-popular nodes over a random rank permutation",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return zipf_trace(tree, p.get_u64("length", 100000),
-                        p.get_double("skew", 1.0), p.get_double("neg", 0.2),
-                        rng);
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed)
+        -> std::unique_ptr<RequestSource> {
+      return std::make_unique<ZipfSource>(
+          tree, p.get_u64("length", 100000), p.get_double("skew", 1.0),
+          p.get_double("neg", 0.2), /*leaves_only=*/false, Rng(seed));
     }};
 
 const sim::WorkloadRegistrar kRegisterZipfLeaf{
     "zipfleaf", "Zipf over leaves only (FIB-like most-specific traffic)",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return zipf_leaf_trace(tree, p.get_u64("length", 100000),
-                             p.get_double("skew", 1.0),
-                             p.get_double("neg", 0.2), rng);
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed)
+        -> std::unique_ptr<RequestSource> {
+      return std::make_unique<ZipfSource>(
+          tree, p.get_u64("length", 100000), p.get_double("skew", 1.0),
+          p.get_double("neg", 0.2), /*leaves_only=*/true, Rng(seed));
     }};
 
 const sim::WorkloadRegistrar kRegisterHotspot{
     "hotspot", "moving-hotspot subtree with per-request jump probability",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return hotspot_trace(tree, p.get_u64("length", 100000),
-                           p.get_double("move-prob", 0.01),
-                           p.get_double("neg", 0.2), rng);
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed)
+        -> std::unique_ptr<RequestSource> {
+      return std::make_unique<HotspotSource>(
+          tree, p.get_u64("length", 100000), p.get_double("move-prob", 0.01),
+          p.get_double("neg", 0.2), Rng(seed));
     }};
 
 const sim::WorkloadRegistrar kRegisterChurn{
     "churn", "Zipf traffic interleaved with alpha-chunk rule updates",
-    [](const Tree& tree, const sim::Params& p, Rng& rng) {
-      return update_churn_trace(tree, p.get_u64("length", 100000),
-                                p.get_double("skew", 1.0), p.alpha(),
-                                p.get_double("update-prob", 0.05), rng);
+    [](const Tree& tree, const sim::Params& p, std::uint64_t seed)
+        -> std::unique_ptr<RequestSource> {
+      return std::make_unique<UpdateChurnSource>(
+          tree, p.get_u64("length", 100000), p.get_double("skew", 1.0),
+          p.alpha(), p.get_double("update-prob", 0.05), Rng(seed));
     }};
 
 }  // namespace

@@ -153,8 +153,8 @@ TEST(BaselineComparison, TcWinsOnAdversarialThrashing) {
   }
   TreeCache tc(t, {.alpha = alpha, .capacity = 3});
   LruClosure lru(t, {.alpha = alpha, .capacity = 3});
-  const Cost tc_cost = tc.run(trace);
-  const Cost lru_cost = lru.run(trace);
+  const Cost tc_cost = sim::run_trace(tc, trace).cost;
+  const Cost lru_cost = sim::run_trace(lru, trace).cost;
   // LRU faults (and pays 2*alpha churn) on every single request here.
   EXPECT_LT(tc_cost.total() * 4, lru_cost.total());
 }

@@ -5,6 +5,7 @@
 
 #include "baselines/opt_offline.hpp"
 #include "core/tree_cache.hpp"
+#include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
 #include "workload/adversary.hpp"
@@ -32,7 +33,7 @@ TEST(Competitive, UpperBoundShapeOnRandomInstances) {
     const Trace trace = workload::uniform_trace(t, 300, 0.4, inst);
 
     TreeCache tc(t, {.alpha = alpha, .capacity = k});
-    const std::uint64_t online = tc.run(trace).total();
+    const std::uint64_t online = sim::run_trace(tc, trace).cost.total();
     const std::uint64_t opt =
         opt_offline_cost(t, trace, {.alpha = alpha, .capacity = k});
 
@@ -58,7 +59,7 @@ TEST(Competitive, TcNeverWorseThanNeverCachingByMuch) {
     const Trace trace = workload::zipf_trace(t, 2000, 1.0, 0.3, inst);
     const auto s = stats(trace, t.size());
     TreeCache tc(t, {.alpha = 2 + inst.below(6), .capacity = 10});
-    const std::uint64_t online = tc.run(trace).total();
+    const std::uint64_t online = sim::run_trace(tc, trace).cost.total();
     EXPECT_LE(online, 4 * (s.positives + s.negatives) + 64)
         << "round " << round;
   }

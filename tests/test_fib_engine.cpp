@@ -45,10 +45,9 @@ TEST(FibWorkloads, NamesAreClassified) {
 TEST(FibWorkloads, ProduceValidTracesOnTheirRuleTree) {
   const sim::Params p = small_fib_params();
   const fib::RuleTree rt = fib::rule_tree_from_params(p);
-  Rng rng(5);
   for (const std::string name : {"fib", "fib-stable", "fib-churn"}) {
     SCOPED_TRACE(name);
-    const Trace trace = sim::make_workload(name, rt.tree, p, rng);
+    const Trace trace = sim::make_workload(name, rt.tree, p, 5);
     ASSERT_FALSE(trace.empty());
     std::size_t negatives = 0;
     for (const Request& r : trace) {
@@ -65,8 +64,46 @@ TEST(FibWorkloads, RejectForeignTrees) {
   Rng rng(3);
   const Tree foreign = trees::random_recursive(301, rng);
   EXPECT_THROW(
-      (void)sim::make_workload("fib", foreign, small_fib_params(), rng),
+      (void)sim::make_source("fib", foreign, small_fib_params(), 3),
       CheckFailure);
+}
+
+// The scenario engine now drives the closed loop through RouterSource +
+// sim::run_source; every statistic and the algorithm's cost must match the
+// self-contained reference event loop (fib/router_sim.hpp) across the
+// seeded algorithm × capacity × seed grid — the mirror the source rebuilds
+// from StepOutcome feedback has to track the real cache exactly.
+TEST(FibEngine, UnifiedDriverMatchesReferenceRouterSim) {
+  const sim::Params base = small_fib_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(base);
+  for (const char* algorithm : {"tc", "lru", "lruinv", "local", "none"}) {
+    for (const std::uint64_t seed : {1u, 7u}) {
+      for (const char* capacity : {"16", "64"}) {
+        SCOPED_TRACE(std::string(algorithm) + " capacity=" + capacity +
+                     " seed=" + std::to_string(seed));
+        sim::Params params = base;
+        params.set("capacity", capacity);
+        params.set("update-prob", "0.03");
+
+        const auto reference_alg =
+            sim::make_algorithm(algorithm, rt.tree, params);
+        const auto reference = fib::run_router_sim(
+            rt, *reference_alg, sim::fib_router_config(params, seed));
+
+        const auto unified = sim::run_fib_scenario(
+            rt, {.algorithm = algorithm, .params = params, .seed = seed});
+
+        EXPECT_EQ(unified.router.packets, reference.packets);
+        EXPECT_EQ(unified.router.hits, reference.hits);
+        EXPECT_EQ(unified.router.misses, reference.misses);
+        EXPECT_EQ(unified.router.updates, reference.updates);
+        EXPECT_EQ(unified.router.cached_updates, reference.cached_updates);
+        EXPECT_EQ(unified.router.forwarding_errors,
+                  reference.forwarding_errors);
+        EXPECT_EQ(unified.router.algorithm_cost, reference.algorithm_cost);
+      }
+    }
+  }
 }
 
 TEST(FibEngine, ScenarioRunsEndToEndThroughRegistry) {

@@ -95,12 +95,12 @@ TEST(Integration, ResetIsEquivalentToFreshInstance) {
   const Trace trace = workload::uniform_trace(tree, 2000, 0.5, rng);
 
   TreeCache reused(tree, {.alpha = 3, .capacity = 10});
-  reused.run(warmup);
+  (void)sim::run_trace(reused, warmup);
   reused.reset();
-  const Cost after_reset = reused.run(trace);
+  const Cost after_reset = sim::run_trace(reused, trace).cost;
 
   TreeCache fresh(tree, {.alpha = 3, .capacity = 10});
-  const Cost fresh_cost = fresh.run(trace);
+  const Cost fresh_cost = sim::run_trace(fresh, trace).cost;
   EXPECT_EQ(after_reset, fresh_cost);
   EXPECT_EQ(reused.cache().as_vector(), fresh.cache().as_vector());
 }
@@ -116,7 +116,7 @@ TEST(Integration, TraceFileRoundTripPreservesCosts) {
 
   TreeCache a(tree, {.alpha = 6, .capacity = 12});
   TreeCache b(tree, {.alpha = 6, .capacity = 12});
-  EXPECT_EQ(a.run(trace), b.run(loaded));
+  EXPECT_EQ(sim::run_trace(a, trace).cost, sim::run_trace(b, loaded).cost);
 }
 
 TEST(Integration, AllAlgorithmsSurviveAPathologicalMix) {

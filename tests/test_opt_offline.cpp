@@ -4,6 +4,7 @@
 
 #include "baselines/opt_offline.hpp"
 #include "core/tree_cache.hpp"
+#include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
 #include "workload/generators.hpp"
@@ -89,7 +90,7 @@ TEST(OptOffline, NeverAboveOnlineTc) {
     const std::uint64_t alpha = 1 + inst.below(3);
     const std::size_t k = 1 + inst.below(t.size());
     TreeCache tc(t, {.alpha = alpha, .capacity = k});
-    const Cost online = tc.run(trace);
+    const Cost online = sim::run_trace(tc, trace).cost;
     const std::uint64_t opt =
         opt_offline_cost(t, trace, {.alpha = alpha, .capacity = k});
     EXPECT_LE(opt, online.total()) << "round " << round;

@@ -9,6 +9,7 @@
 #include "baselines/paging.hpp"
 #include "core/naive_tree_cache.hpp"
 #include "core/tree_cache.hpp"
+#include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
 #include "workload/adversary.hpp"
@@ -65,7 +66,8 @@ TEST(Reduction, TcOnLiftedInstanceTracksPagingCosts) {
   const Tree star = trees::star(pages);
   TreeCache tc(star, {.alpha = alpha, .capacity = k});
   const Trace lifted = workload::lift_paging_sequence(sequence, alpha);
-  const std::uint64_t tc_in_faults = tc.run(lifted).total() / alpha;
+  const std::uint64_t tc_in_faults =
+      sim::run_trace(tc, lifted).cost.total() / alpha;
 
   EXPECT_LE(tc_in_faults, 8 * lru.faults() + 8);
   EXPECT_GE(8 * tc_in_faults, lru.faults());

@@ -35,8 +35,9 @@ TEST(Registry, ExpectedAlgorithmsAreRegistered) {
 
 TEST(Registry, ExpectedWorkloadsAreRegistered) {
   const auto names = sim::WorkloadRegistry::instance().names();
-  for (const char* expected : {"uniform", "zipf", "zipfleaf", "hotspot",
-                               "churn", "fib", "fib-stable", "fib-churn"}) {
+  for (const char* expected :
+       {"uniform", "zipf", "zipfleaf", "hotspot", "churn", "fib",
+        "fib-stable", "fib-churn", "concat", "mix", "churn-inject"}) {
     EXPECT_TRUE(std::ranges::count(names, expected) == 1)
         << "missing workload registration: " << expected;
   }
@@ -64,7 +65,7 @@ TEST(Registry, EveryAlgorithmRunsOneSmokeTrace) {
   Rng rng(7);
   const Tree tree = trees::random_recursive(24, rng);
   const sim::Params params = smoke_params();
-  const Trace trace = sim::make_workload("zipf", tree, params, rng);
+  const Trace trace = sim::make_workload("zipf", tree, params, rng());
   ASSERT_FALSE(trace.empty());
 
   for (const std::string& name :
@@ -101,7 +102,7 @@ TEST(Registry, EveryWorkloadProducesAValidTrace) {
     SCOPED_TRACE("workload: " + name);
     const Tree& tree =
         fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
-    const Trace trace = sim::make_workload(name, tree, params, rng);
+    const Trace trace = sim::make_workload(name, tree, params, rng());
     EXPECT_FALSE(trace.empty());
     for (const Request& r : trace) {
       ASSERT_LT(r.node, tree.size());
@@ -109,11 +110,31 @@ TEST(Registry, EveryWorkloadProducesAValidTrace) {
   }
 }
 
+// `treecache list` renders exactly these tables: every registered name of
+// all four registries must appear in its registry's describe() output.
+TEST(Registry, DescribeCoversEveryRegisteredName) {
+  const auto check = [](const std::string& described,
+                        const std::vector<std::string>& names) {
+    for (const std::string& name : names) {
+      EXPECT_NE(described.find("  " + name + " "), std::string::npos)
+          << "describe() misses: " << name;
+    }
+  };
+  check(sim::AlgorithmRegistry::instance().describe(),
+        sim::AlgorithmRegistry::instance().names());
+  check(sim::WorkloadRegistry::instance().describe(),
+        sim::WorkloadRegistry::instance().names());
+  check(sim::OfflineEvaluatorRegistry::instance().describe(),
+        sim::OfflineEvaluatorRegistry::instance().names());
+  check(sim::PagingRegistry::instance().describe(),
+        sim::PagingRegistry::instance().names());
+}
+
 TEST(Registry, UnknownNamesThrowWithSuggestions) {
-  Rng rng(1);
   const Tree tree = trees::path(4);
   EXPECT_THROW((void)sim::make_algorithm("nope", tree, {}), CheckFailure);
-  EXPECT_THROW((void)sim::make_workload("nope", tree, {}, rng),
+  EXPECT_THROW((void)sim::make_source("nope", tree, {}, 1), CheckFailure);
+  EXPECT_THROW((void)sim::make_workload("nope", tree, {}, 1),
                CheckFailure);
   EXPECT_THROW((void)sim::evaluate_offline("nope", tree, {}, {}),
                CheckFailure);
@@ -143,20 +164,19 @@ TEST(Registry, ParamsParseAndDefault) {
 }
 
 TEST(Registry, OfflineEvaluatorsAgreeWithDirectCalls) {
-  Rng rng(3);
   const Tree tree = trees::complete_kary(2, 2);  // 7 nodes
   sim::Params params;
   params.set("alpha", "2");
   params.set("capacity", "3");
   const Trace trace = sim::make_workload(
       "uniform", tree,
-      sim::Params{{{"length", "40"}, {"neg", "0.3"}}}, rng);
+      sim::Params{{{"length", "40"}, {"neg", "0.3"}}}, 3);
   const std::uint64_t opt =
       sim::evaluate_offline("opt", tree, trace, params);
   EXPECT_GT(opt, 0u);
   // A legal online algorithm can never beat the offline optimum.
   auto tc = sim::make_algorithm("tc", tree, params);
-  EXPECT_GE(tc->run(trace).total(), opt);
+  EXPECT_GE(sim::run_trace(*tc, trace).cost.total(), opt);
 }
 
 }  // namespace

@@ -2,8 +2,15 @@
 //
 // Algorithms, workloads and offline evaluators resolve by name through
 // sim/registry.hpp; `treecache list` prints everything that is registered.
-// Adding a policy or generator to the library makes it available here with
-// no CLI changes.
+// Adding a policy or streaming source to the library makes it available
+// here with no CLI changes.
+//
+// `run` and `gen-trace` are fully streaming: workloads are pull-based
+// RequestSources and `--trace` files are read line by line, so
+// `--length 1000000000` runs in O(tree) memory (CI asserts the RSS bound).
+// Composite workloads come from the registered combinators, e.g.
+// `--workload mix --parts zipf,hotspot --weights 3,1` or
+// `--workload churn-inject --inner zipfleaf --churn-period 500`.
 //
 // Subcommands:
 //   list       prints the registered algorithms / workloads / evaluators
@@ -37,6 +44,7 @@
 // `run`/`sweep` can drive FIB workloads without an intermediate file.
 // `--json` writes the machine-readable result document (schemas in
 // sim/reporting.hpp); "-" means stdout.
+#include <array>
 #include <charconv>
 #include <fstream>
 #include <iostream>
@@ -45,6 +53,7 @@
 
 #include "analysis/opt_bound.hpp"
 #include "core/field_tracker.hpp"
+#include "core/request_source.hpp"
 #include "core/tree_cache.hpp"  // `fields` instruments TC specifically
 #include "fib/fib_workloads.hpp"
 #include "fib/rib_gen.hpp"
@@ -227,15 +236,31 @@ int cmd_gen_rib(const Flags& flags) {
 
 int cmd_gen_trace(const Flags& flags) {
   const Tree tree = load_tree(flags);
-  Rng rng(flags.get_u64("seed", 1));
-  const Trace trace = sim::make_workload(flags.get("kind", "zipf"), tree,
-                                         params_from(flags), rng);
-  std::ostringstream out;
-  save_trace(out, trace);
-  write_text(flags.get("out", "-"), out.str());
-  const auto s = stats(trace, tree.size());
-  std::cerr << "trace: " << trace.size() << " requests (" << s.positives
-            << " positive, " << s.negatives << " negative)\n";
+  const auto source = sim::make_source(flags.get("kind", "zipf"), tree,
+                                       params_from(flags),
+                                       flags.get_u64("seed", 1));
+  // Stream straight to the output; the trace never lives in memory.
+  const std::string out_path = flags.get("out", "-");
+  std::ofstream file;
+  if (out_path != "-") {
+    file.open(out_path);
+    TC_CHECK(static_cast<bool>(file), "cannot open " + out_path);
+  }
+  std::ostream& os = out_path == "-" ? std::cout : file;
+  std::array<Request, 4096> buffer;
+  std::uint64_t total = 0;
+  std::uint64_t positives = 0;
+  for (;;) {
+    const std::size_t n = source->fill(buffer);
+    if (n == 0) break;
+    save_trace(os, std::span<const Request>(buffer.data(), n));
+    total += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      positives += buffer[i].sign == Sign::kPositive ? 1u : 0u;
+    }
+  }
+  std::cerr << "trace: " << total << " requests (" << positives
+            << " positive, " << total - positives << " negative)\n";
   return 0;
 }
 
@@ -246,21 +271,23 @@ int cmd_run(const Flags& flags) {
   const std::string name = flags.get("algo", flags.get("alg", "tc"));
   const auto alg = sim::make_algorithm(name, tree, params);
 
-  // The trace comes from a file or is generated through the workload
-  // registry (--workload <name>, parameterized by the same flags).
+  // The requests stream from a file (line by line, never slurped) or from
+  // the workload registry (--workload <name>, parameterized by the same
+  // flags) — either way the run's memory is O(tree), not O(length).
   TC_CHECK(!(flags.has("trace") && flags.has("workload")),
            "--trace and --workload are mutually exclusive");
-  const Trace trace = [&]() -> Trace {
+  const auto source = [&]() -> std::unique_ptr<RequestSource> {
     if (flags.has("workload")) {
-      Rng rng(flags.get_u64("seed", 1));
-      return sim::make_workload(flags.get("workload", ""), tree, params,
-                                rng);
+      return sim::make_source(flags.get("workload", ""), tree, params,
+                              flags.get_u64("seed", 1));
     }
-    return load_trace_file(flags, tree.size());
+    const std::string path = flags.get("trace", "");
+    TC_CHECK(!path.empty(), "--trace is required");
+    return std::make_unique<FileTraceSource>(path, tree.size());
   }();
 
   const auto result =
-      sim::run_trace(*alg, trace, {}, flags.has("validate"));
+      sim::run_source(*alg, *source, {}, flags.has("validate"));
   if (flags.has("json")) {
     const sim::Scenario scenario{.algorithm = name,
                                  .workload = flags.get("workload", ""),
