@@ -1,0 +1,155 @@
+// Throughput trajectory: requests/sec of the driver stack, from the
+// legacy per-round observer loop through the batched hot path to the
+// sharded engine at 8 shards. One Zipf stream over a tree with eight
+// equal top-level subtrees, identical seed per mode, best of
+// TREECACHE_BENCH_REPS repetitions; emits BENCH_throughput.json when
+// TREECACHE_BENCH_JSON_DIR is set (the CI perf artifact).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/sharded_engine.hpp"
+#include "sim/bench_env.hpp"
+#include "sim/registry.hpp"
+#include "sim/reporting.hpp"
+#include "sim/simulator.hpp"
+#include "tree/tree_builder.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace treecache;
+
+namespace {
+
+struct Mode {
+  std::string name;
+  std::size_t shards = 1;   // 1 = plain run_source driver
+  std::size_t threads = 1;  // 0 = one worker per shard (hardware-capped)
+  bool observer = false;    // force the per-round observer slow path
+};
+
+struct Sample {
+  sim::RunResult result;
+  std::size_t threads = 1;
+};
+
+Sample run_mode(const Mode& mode, const Tree& tree,
+                const sim::Params& params, std::uint64_t seed) {
+  const auto source = sim::make_source("zipf", tree, params, seed);
+  if (mode.shards == 1) {
+    const auto alg = sim::make_algorithm("tc", tree, params);
+    if (mode.observer) {
+      // The pre-batching driver shape: a live (no-op) observer forces the
+      // scalar loop with its per-round std::function dispatch.
+      std::uint64_t sink = 0;
+      const sim::StepObserver observer =
+          [&sink](std::size_t, Request, const StepOutcome& out) {
+            sink += out.paid ? 1 : 0;
+          };
+      return {sim::run_source(*alg, *source, observer), 1};
+    }
+    return {sim::run_source(*alg, *source), 1};
+  }
+  engine::ShardedEngine eng(
+      tree, "tc", params,
+      {.shards = mode.shards, .threads = mode.threads, .batch = 4096});
+  const engine::EngineResult result = eng.run(*source);
+  return {result.total, result.threads};
+}
+
+}  // namespace
+
+int main() {
+  const char* kTitle = "Driver throughput — batched hot path and sharding";
+  sim::print_experiment_banner(
+      "throughput", kTitle,
+      "one instance serves what one core serves; contiguous-preorder "
+      "shards scale requests/sec with cores at bit-identical total cost");
+
+  // Eight equal top-level subtrees: pick the largest complete 8-ary tree
+  // within the (possibly bench-scaled) node budget so every shard carries
+  // the same mass.
+  const std::size_t node_budget = sim::bench_scaled(37449);  // 8-ary, 6 lvls
+  std::size_t levels = 2;
+  std::size_t size = 9;  // 1 + 8
+  while (size * 8 + 1 <= node_budget) {
+    size = size * 8 + 1;
+    ++levels;
+  }
+  const Tree tree = trees::complete_kary(levels, 8);
+
+  sim::Params params;
+  params.set("alpha", "16");
+  params.set("capacity", "512");
+  params.set("skew", "1.0");
+  params.set("neg", "0.1");
+  params.set("length", std::to_string(sim::bench_scaled(4000000)));
+  const std::uint64_t seed = 20260730;
+  const std::size_t reps = sim::bench_reps(3);
+
+  std::printf("tree: %zu nodes (%zu levels, arity 8), %s requests, "
+              "best of %zu reps\n",
+              tree.size(), levels, params.get("length", "?").c_str(), reps);
+
+  const std::vector<Mode> modes{
+      {.name = "scalar+observer", .observer = true},
+      {.name = "single-thread", .shards = 1},
+      {.name = "sharded-8x1", .shards = 8, .threads = 1},
+      {.name = "sharded-8xN", .shards = 8, .threads = 0},
+  };
+
+  // Measure everything first: the single-thread baseline row itself gets a
+  // real speedup ratio (< 1 for the observer loop), not a placeholder.
+  std::vector<Sample> best(modes.size());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Sample sample = run_mode(modes[m], tree, params, seed);
+      if (best[m].result.rounds == 0 ||
+          sample.result.wall_seconds < best[m].result.wall_seconds) {
+        best[m] = sample;
+      }
+    }
+  }
+  double single_thread_rps = 0.0;
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    if (modes[m].name == "single-thread") {
+      single_thread_rps = best[m].result.requests_per_second();
+    }
+  }
+
+  ConsoleTable table({"mode", "shards", "threads", "total cost", "wall s",
+                      "Mreq/s", "vs single-thread"});
+  util::Json json_rows = util::Json::array();
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const Mode& mode = modes[m];
+    const double rps = best[m].result.requests_per_second();
+    const double speedup =
+        single_thread_rps > 0.0 ? rps / single_thread_rps : 0.0;
+    table.add_row({mode.name, ConsoleTable::fmt(std::uint64_t{mode.shards}),
+                   ConsoleTable::fmt(std::uint64_t{best[m].threads}),
+                   ConsoleTable::fmt(best[m].result.cost.total()),
+                   ConsoleTable::fmt(best[m].result.wall_seconds, 3),
+                   ConsoleTable::fmt(rps / 1e6, 2),
+                   ConsoleTable::fmt(speedup, 2) + "x"});
+    json_rows.push(util::Json::object()
+                       .set("mode", mode.name)
+                       .set("shards", std::uint64_t{mode.shards})
+                       .set("threads", std::uint64_t{best[m].threads})
+                       .set("rounds", best[m].result.rounds)
+                       .set("total_cost", best[m].result.cost.total())
+                       .set("wall_seconds", best[m].result.wall_seconds)
+                       .set("requests_per_second", rps)
+                       .set("speedup_vs_single_thread", speedup));
+  }
+  table.print();
+  const std::string json_path =
+      sim::write_bench_json("throughput", kTitle, std::move(json_rows));
+  if (!json_path.empty()) sim::print_note("json", json_path);
+  sim::print_note(
+      "reading",
+      "the batched no-observer hot path is the single-instance ceiling; "
+      "8 contiguous-preorder shards keep the aggregate cost bit-identical "
+      "across thread counts while requests/sec scales with the worker "
+      "count (bounded by the machine's cores — see the threads column)");
+  return 0;
+}

@@ -37,6 +37,17 @@ struct StepOutcome {
   [[nodiscard]] std::uint64_t service_cost() const { return paid ? 1 : 0; }
 };
 
+/// Receives the (request, outcome) pairs of a batched step in stream order.
+/// Outcome spans obey the same lifetime rule as step()'s return value —
+/// valid only until the next round is stepped — so a sink must consume them
+/// immediately (aggregate, copy out), never store them.
+class OutcomeSink {
+ public:
+  virtual ~OutcomeSink() = default;
+  virtual void on_outcome(const Request& request,
+                          const StepOutcome& outcome) = 0;
+};
+
 /// An online algorithm maintains a subforest cache and serves one request per
 /// round, paying the bypassing-model costs. Implementations must keep
 /// cache() a valid subforest after every step.
@@ -48,6 +59,18 @@ class OnlineAlgorithm {
 
   /// Serves the round-t request and applies at most one cache change.
   virtual StepOutcome step(Request request) = 0;
+
+  /// Serves a whole batch in stream order, handing each outcome to `sink`
+  /// right after its round. Semantically identical to calling step() in a
+  /// loop (tests enforce this for every registered algorithm); overrides
+  /// exist so the driver's hot path amortizes the virtual dispatch over a
+  /// batch instead of paying it per round.
+  virtual void step_batch(std::span<const Request> requests,
+                          OutcomeSink& sink) {
+    for (const Request& request : requests) {
+      sink.on_outcome(request, step(request));
+    }
+  }
 
   /// Restores the initial (empty-cache) state and zeroes the cost.
   virtual void reset() = 0;

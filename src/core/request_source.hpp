@@ -65,6 +65,12 @@ class RequestSource {
   /// round's outcome, in stream order. Open-loop sources ignore it.
   virtual void observe(const StepOutcome& /*outcome*/) {}
 
+  /// True when the stream depends on observe() feedback. Drivers that
+  /// cannot deliver outcomes in stream order (the sharded engine with more
+  /// than one shard) refuse closed-loop sources instead of silently
+  /// starving their mirrors.
+  [[nodiscard]] virtual bool is_closed_loop() const { return false; }
+
   /// Single-request convenience over fill().
   [[nodiscard]] std::optional<Request> next() {
     Request r;

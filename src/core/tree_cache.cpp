@@ -55,6 +55,16 @@ StepOutcome TreeCache::step(Request request) {
                                          : handle_negative(request.node);
 }
 
+void TreeCache::step_batch(std::span<const Request> requests,
+                           OutcomeSink& sink) {
+  // TreeCache is final, so step() devirtualizes here: the batch pays one
+  // virtual dispatch total instead of one per round, and step_batch ≡
+  // step holds by construction.
+  for (const Request& request : requests) {
+    sink.on_outcome(request, step(request));
+  }
+}
+
 StepOutcome TreeCache::handle_positive(NodeId v) {
   if (cache_.contains(v)) return {};  // request served by the cache, free
   StepOutcome out;

@@ -60,6 +60,8 @@ class TreeCache final : public OnlineAlgorithm {
 
   [[nodiscard]] std::string_view name() const override { return "TC"; }
   StepOutcome step(Request request) override;
+  void step_batch(std::span<const Request> requests,
+                  OutcomeSink& sink) override;
   void reset() override;
   [[nodiscard]] const Subforest& cache() const override { return cache_; }
   [[nodiscard]] const Cost& cost() const override { return cost_; }

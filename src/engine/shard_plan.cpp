@@ -1,0 +1,94 @@
+#include "engine/shard_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace treecache::engine {
+
+ShardPlan::ShardPlan(const Tree& tree, std::size_t max_shards)
+    : universe_(&tree) {
+  const std::span<const NodeId> children = tree.children(tree.root());
+  const std::size_t target =
+      std::min(std::max<std::size_t>(max_shards, 1),
+               std::max<std::size_t>(children.size(), 1));
+  shard_of_.assign(tree.size(), 0);
+  local_id_.assign(tree.size(), 0);
+
+  if (target <= 1) {
+    // Trivial plan: one shard whose tree IS the universe. Identity maps,
+    // no relabeled tree (shard_tree returns the universe).
+    Shard whole;
+    whole.roots.assign(children.begin(), children.end());
+    whole.preorder_begin = 0;
+    whole.preorder_end = static_cast<std::uint32_t>(tree.size());
+    shards_.push_back(std::move(whole));
+    std::iota(local_id_.begin(), local_id_.end(), NodeId{0});
+    global_id_.emplace_back(local_id_);
+    return;
+  }
+
+  // Group the root's children into `target` contiguous runs, greedily
+  // filling each run to its fair share ceil(remaining/runs-left) of the
+  // remaining node mass while always leaving one child per later run.
+  // Contiguity in child order is contiguity in preorder: sibling subtrees
+  // occupy adjacent preorder intervals.
+  std::uint64_t remaining = tree.size() - 1;  // all nodes below the root
+  std::size_t next_child = 0;
+  for (std::size_t g = 0; g < target; ++g) {
+    const std::size_t runs_left = target - g;
+    const std::uint64_t budget = (remaining + runs_left - 1) / runs_left;
+    Shard shard;
+    std::uint64_t taken = 0;
+    while (next_child < children.size() &&
+           (shard.roots.empty() ||
+            (taken < budget &&
+             children.size() - next_child > runs_left - 1))) {
+      const NodeId c = children[next_child++];
+      shard.roots.push_back(c);
+      taken += tree.subtree_size(c);
+    }
+    remaining -= taken;
+    shard.preorder_begin =
+        g == 0 ? 0 : tree.preorder_index(shard.roots.front());
+    shard.preorder_end = tree.preorder_index(shard.roots.back()) +
+                         tree.subtree_size(shard.roots.back());
+    shards_.push_back(std::move(shard));
+  }
+
+  // Relabel each shard's slice into its own Tree. Local ids follow global
+  // preorder; shards after the first get a replica of the global root as
+  // local node 0 (their subtree roots reparent onto it).
+  const std::span<const NodeId> preorder = tree.preorder();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    const bool replicated_root = s > 0;
+    const auto local_of = [&](std::uint32_t preorder_pos) -> NodeId {
+      return replicated_root ? preorder_pos - shard.preorder_begin + 1
+                             : preorder_pos;
+    };
+    std::vector<NodeId> global(shard.nodes() + (replicated_root ? 1 : 0));
+    if (replicated_root) global[0] = tree.root();
+    for (std::uint32_t i = shard.preorder_begin; i < shard.preorder_end;
+         ++i) {
+      const NodeId g = preorder[i];
+      shard_of_[g] = static_cast<std::uint32_t>(s);
+      local_id_[g] = local_of(i);
+      global[local_of(i)] = g;
+    }
+    std::vector<NodeId> parent(global.size(), kNoNode);
+    for (std::uint32_t i = shard.preorder_begin; i < shard.preorder_end;
+         ++i) {
+      const NodeId g = preorder[i];
+      const NodeId p = tree.parent(g);
+      // Subtree roots hang off the (replica of the) global root; shard 0's
+      // first slot is the real root and keeps kNoNode.
+      if (p != kNoNode) {
+        parent[local_of(i)] = p == tree.root() ? NodeId{0} : local_id_[p];
+      }
+    }
+    trees_.emplace_back(std::move(parent));
+    global_id_.push_back(std::move(global));
+  }
+}
+
+}  // namespace treecache::engine

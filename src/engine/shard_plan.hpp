@@ -1,0 +1,100 @@
+// Shard planning: a deterministic partition of the universe tree into
+// contiguous-preorder subtree shards, the way a router's line cards each
+// hold a slice of the FIB.
+//
+// The partition unit is a top-level subtree T(c) for a child c of the
+// global root: adjacent children own adjacent preorder intervals, so every
+// shard is one contiguous preorder range of the universe and the
+// shard-of-node lookup is a single array read. Children are grouped
+// greedily into size-balanced contiguous runs; asking for more shards than
+// the root has children yields one shard per child.
+//
+// Each shard gets its own Tree to run an algorithm instance on:
+//   * shard 0 owns the global root, so its tree is the root plus its run
+//     of top-level subtrees — ids relabeled to local preorder;
+//   * every other shard's tree is a REPLICA of the global root (local node
+//     0 — the line card's copy of the default rule) with the shard's
+//     subtree roots as children. The replica never receives requests;
+//     routing is by the requested node only, so the request → shard map is
+//     a pure function of the plan.
+// For FIB rule trees (fib/rule_tree.hpp) this is exactly "shard by
+// top-level prefix": node 0 is the artificial default rule and every shard
+// boundary lands between top-level prefixes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/request.hpp"
+#include "tree/tree.hpp"
+
+namespace treecache::engine {
+
+/// One shard: a contiguous preorder slice of the universe tree.
+struct Shard {
+  /// Global ids of the top-level subtree roots owned by this shard, in
+  /// preorder. Shard 0 additionally owns the global root itself (not
+  /// listed here).
+  std::vector<NodeId> roots;
+  /// The global preorder interval [begin, end) the shard covers. Shard 0's
+  /// interval starts at the root (preorder index 0).
+  std::uint32_t preorder_begin = 0;
+  std::uint32_t preorder_end = 0;
+
+  [[nodiscard]] std::size_t nodes() const {
+    return preorder_end - preorder_begin;
+  }
+};
+
+class ShardPlan {
+ public:
+  /// Partitions `tree` into min(max_shards, max(1, #children(root)))
+  /// shards. `tree` must outlive the plan. max_shards == 1 is the trivial
+  /// plan: one shard whose tree IS the universe (no relabeling).
+  ShardPlan(const Tree& tree, std::size_t max_shards);
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const Shard& shard(std::size_t s) const { return shards_[s]; }
+  [[nodiscard]] const Tree& universe() const { return *universe_; }
+
+  /// The tree shard `s`'s algorithm instance runs on. For the trivial
+  /// 1-shard plan this is the universe itself (never a relabeled copy).
+  [[nodiscard]] const Tree& shard_tree(std::size_t s) const {
+    return trees_.empty() ? *universe_ : trees_[s];
+  }
+
+  /// Which shard serves requests to global node `v`.
+  [[nodiscard]] std::size_t shard_of(NodeId v) const {
+    TC_CHECK(v < shard_of_.size(), "request to node outside the universe");
+    return shard_of_[v];
+  }
+
+  /// Global node → its id in shard_tree(shard_of(v)).
+  [[nodiscard]] NodeId to_local(NodeId v) const {
+    TC_DCHECK(v < local_id_.size(), "node outside the universe");
+    return local_id_[v];
+  }
+
+  /// Shard-local node → global node. The replica root (local 0 of shards
+  /// s > 0) maps back to the global root, so the round trip
+  /// to_local(to_global(s, l)) == l holds for every node that can be
+  /// requested and the replica maps to the rule it duplicates.
+  [[nodiscard]] NodeId to_global(std::size_t s, NodeId local) const {
+    return global_id_[s][local];
+  }
+
+  /// The request routed into its shard's id space.
+  [[nodiscard]] Request to_local(Request request) const {
+    return Request{to_local(request.node), request.sign};
+  }
+
+ private:
+  const Tree* universe_;
+  std::vector<Shard> shards_;
+  std::vector<Tree> trees_;
+  std::vector<std::uint32_t> shard_of_;          // per global node
+  std::vector<NodeId> local_id_;                 // per global node
+  std::vector<std::vector<NodeId>> global_id_;   // per shard, per local node
+};
+
+}  // namespace treecache::engine

@@ -1,0 +1,236 @@
+#include "engine/sharded_engine.hpp"
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace treecache::engine {
+namespace {
+
+/// Bound on chunks buffered per worker: enough to keep workers busy while
+/// the demux refills, small enough that a slow shard backpressures the
+/// producer instead of ballooning memory.
+constexpr std::size_t kMaxQueuedChunks = 16;
+
+/// FIFO of (shard, chunk) pairs feeding one worker. A shard is pinned to
+/// exactly one worker, so per-shard order is the queue order.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::condition_variable ready;  // consumer: work available or shutdown
+  std::condition_variable space;  // producer: below the chunk bound
+  std::deque<std::pair<std::size_t, std::vector<Request>>> chunks;
+  bool done = false;
+};
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const Tree& tree, const std::string& algorithm,
+                             const sim::Params& params, EngineConfig config)
+    : plan_(tree, config.shards), config_(config) {
+  TC_CHECK(config_.batch >= 1, "engine batch size must be at least 1");
+  // Single-shard plans delegate to run_source, whose batch is fixed:
+  // normalize so config() never claims a geometry that was not used.
+  if (plan_.num_shards() == 1) config_.batch = sim::kDriverBatchSize;
+  algs_.reserve(plan_.num_shards());
+  for (std::size_t s = 0; s < plan_.num_shards(); ++s) {
+    algs_.push_back(
+        sim::make_algorithm(algorithm, plan_.shard_tree(s), params));
+  }
+}
+
+std::size_t ShardedEngine::effective_threads() const {
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t requested =
+      config_.threads == 0 ? hardware : config_.threads;
+  return std::min(requested, plan_.num_shards());
+}
+
+EngineResult ShardedEngine::run(RequestSource& source) {
+  const std::size_t num_shards = plan_.num_shards();
+  for (auto& alg : algs_) alg->reset();
+
+  EngineResult out;
+  out.shards = num_shards;
+  const Stopwatch timer;
+
+  if (num_shards == 1) {
+    // Unsharded: the plain driver, which also feeds closed-loop sources.
+    out.threads = 1;
+    out.per_shard.push_back(sim::run_source(*algs_[0], source));
+    out.total = out.per_shard.front();
+    out.total.wall_seconds = timer.seconds();
+    // Per-shard results uniformly carry no wall time (only the aggregate
+    // does), matching the multi-shard path.
+    out.per_shard.front().wall_seconds = 0.0;
+    return out;
+  }
+  // Outcomes complete out of order across shards, so observe() is never
+  // called: a closed-loop source would silently starve its mirror.
+  TC_CHECK(!source.is_closed_loop(),
+           "closed-loop sources require a single shard (see ROADMAP)");
+
+  const std::size_t workers = effective_threads();
+  out.threads = workers;
+  out.per_shard.resize(num_shards);
+  std::vector<sim::AccountingSink> sinks;
+  sinks.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    sinks.emplace_back(out.per_shard[s], *algs_[s], nullptr);
+  }
+
+  // Per-shard demux buffers, flushed to the shard's executor when full.
+  std::vector<std::vector<Request>> pending(num_shards);
+  for (auto& p : pending) p.reserve(config_.batch);
+  std::array<Request, sim::kDriverBatchSize> buffer;
+
+  if (workers <= 1) {
+    // Sequential demux: identical routing and per-shard chunking, stepped
+    // inline. Per-shard results match the threaded path by construction.
+    const auto flush = [&](std::size_t s) {
+      algs_[s]->step_batch(pending[s], sinks[s]);
+      pending[s].clear();
+    };
+    for (;;) {
+      const std::size_t n = source.fill(buffer);
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = plan_.shard_of(buffer[i].node);
+        pending[s].push_back(plan_.to_local(buffer[i]));
+        if (pending[s].size() >= config_.batch) flush(s);
+      }
+    }
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (!pending[s].empty()) flush(s);
+    }
+  } else {
+    // Threaded: shard s is pinned to worker s % workers; the caller thread
+    // demuxes and the workers drain their queues through step_batch.
+    std::vector<WorkerQueue> queues(workers);
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        WorkerQueue& queue = queues[w];
+        for (;;) {
+          std::pair<std::size_t, std::vector<Request>> item;
+          {
+            std::unique_lock<std::mutex> lock(queue.mutex);
+            queue.ready.wait(lock, [&] {
+              return !queue.chunks.empty() || queue.done;
+            });
+            if (queue.chunks.empty()) return;  // done and drained
+            item = std::move(queue.chunks.front());
+            queue.chunks.pop_front();
+          }
+          queue.space.notify_one();
+          try {
+            algs_[item.first]->step_batch(item.second, sinks[item.first]);
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(error_mutex);
+              if (!error) error = std::current_exception();
+            }
+            // The producer may be blocked on this queue's bound; flip
+            // `failed` under the queue mutex so it cannot evaluate the wait
+            // predicate between the store and the wakeup (a lost notify
+            // would deadlock run()), then wake it.
+            {
+              const std::lock_guard<std::mutex> lock(queue.mutex);
+              failed.store(true, std::memory_order_relaxed);
+            }
+            queue.space.notify_all();
+            return;
+          }
+        }
+      });
+    }
+
+    const auto enqueue = [&](std::size_t s) {
+      WorkerQueue& queue = queues[s % workers];
+      {
+        std::unique_lock<std::mutex> lock(queue.mutex);
+        queue.space.wait(lock, [&] {
+          return queue.chunks.size() < kMaxQueuedChunks ||
+                 failed.load(std::memory_order_relaxed);
+        });
+        queue.chunks.emplace_back(s, std::move(pending[s]));
+      }
+      queue.ready.notify_one();
+      pending[s] = {};
+      pending[s].reserve(config_.batch);
+    };
+
+    // A demux-side throw (source.fill, shard_of on an out-of-range node)
+    // must not unwind past joinable workers — that would std::terminate.
+    // Capture it, run the regular shutdown, and rethrow after the join.
+    std::exception_ptr producer_error;
+    try {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t n = source.fill(buffer);
+        if (n == 0) break;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t s = plan_.shard_of(buffer[i].node);
+          pending[s].push_back(plan_.to_local(buffer[i]));
+          if (pending[s].size() >= config_.batch) enqueue(s);
+        }
+      }
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (!pending[s].empty() &&
+            !failed.load(std::memory_order_relaxed)) {
+          enqueue(s);
+        }
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    for (auto& queue : queues) {
+      {
+        const std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.done = true;
+      }
+      queue.ready.notify_one();
+      // A failed run may leave a producer-side wait pending in theory;
+      // wake it so shutdown cannot stall.
+      queue.space.notify_all();
+    }
+    for (auto& worker : pool) worker.join();
+    if (producer_error) std::rethrow_exception(producer_error);
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Finalize each shard, then aggregate in shard order (a fixed order, so
+  // the totals are reproducible bit for bit).
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    sim::RunResult& r = out.per_shard[s];
+    r.cost = algs_[s]->cost();
+    r.final_cache_size = algs_[s]->cache().size();
+    out.total.cost += r.cost;
+    out.total.rounds += r.rounds;
+    out.total.paid_requests += r.paid_requests;
+    out.total.paid_positive += r.paid_positive;
+    out.total.paid_negative += r.paid_negative;
+    out.total.fetched_nodes += r.fetched_nodes;
+    out.total.evicted_nodes += r.evicted_nodes;
+    out.total.phase_restarts += r.phase_restarts;
+    out.total.restart_evictions += r.restart_evictions;
+    out.total.max_cache_size =
+        std::max(out.total.max_cache_size, r.max_cache_size);
+    out.total.final_cache_size += r.final_cache_size;
+  }
+  out.total.wall_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace treecache::engine

@@ -1,0 +1,90 @@
+// Sharded execution engine: many algorithm instances, one request stream.
+//
+// A ShardedEngine owns one OnlineAlgorithm instance per shard of a
+// ShardPlan (each built by the registry over its shard tree, each with the
+// full per-instance capacity — the line-card model: every card holds its
+// own TCAM slice). run() pulls batches from a RequestSource on the caller
+// thread, routes every request to the shard owning its node, and lets
+// worker threads drain per-shard queues through the batched
+// OnlineAlgorithm::step_batch hot path.
+//
+// Determinism contract: routing is a pure function of the requested node,
+// each shard consumes its subsequence in stream order (a shard is pinned
+// to one worker; queues are FIFO), and shard instances share no state — so
+// every per-shard RunResult, and therefore the aggregate, is bit-identical
+// regardless of the worker-thread count, including the sequential
+// threads=1 demux. Tests enforce equality against independent per-shard
+// sequential runs and across thread counts.
+//
+// Closed loops: with one shard the engine delegates to sim::run_source,
+// which feeds outcomes back to the source, so closed-loop sources (the FIB
+// router) run unchanged. With multiple shards the stream must be open-loop
+// — outcomes complete out of order across shards, so observe() is never
+// called (cross-shard closed-loop handling is a ROADMAP open item).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/request_source.hpp"
+#include "engine/shard_plan.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace treecache::engine {
+
+struct EngineConfig {
+  /// Requested shard count; the plan caps it at the number of top-level
+  /// subtrees. 1 = unsharded (delegates to sim::run_source).
+  std::size_t shards = 1;
+  /// Worker threads for the sharded path; 0 picks one per shard, capped at
+  /// the hardware concurrency. Never more than one worker per shard.
+  std::size_t threads = 1;
+  /// Demux chunk size: requests handed to one shard per step_batch call.
+  /// Single-shard plans run through sim::run_source, whose batch is always
+  /// kDriverBatchSize — the constructor normalizes this field accordingly,
+  /// so config() reports the geometry actually used.
+  std::size_t batch = sim::kDriverBatchSize;
+};
+
+struct EngineResult {
+  /// Aggregate over shards: costs and tallies are sums, max_cache_size is
+  /// the largest single-instance peak, final_cache_size the total cached
+  /// across instances, wall_seconds the engine wall time (per-shard results
+  /// carry no wall time of their own).
+  sim::RunResult total;
+  std::vector<sim::RunResult> per_shard;
+  std::size_t shards = 0;
+  std::size_t threads = 0;  // workers actually used
+};
+
+class ShardedEngine {
+ public:
+  /// Plans the shards over `tree` and builds one registry-resolved
+  /// `algorithm` instance per shard on its shard tree. `tree` must outlive
+  /// the engine.
+  ShardedEngine(const Tree& tree, const std::string& algorithm,
+                const sim::Params& params, EngineConfig config);
+
+  /// Resets every instance and runs `source` to exhaustion. See the header
+  /// comment for the determinism and closed-loop contracts.
+  [[nodiscard]] EngineResult run(RequestSource& source);
+
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  /// The configuration as normalized by the constructor (see
+  /// EngineConfig::batch) — what result documents should echo.
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] const OnlineAlgorithm& algorithm(std::size_t s) const {
+    return *algs_[s];
+  }
+
+ private:
+  [[nodiscard]] std::size_t effective_threads() const;
+
+  ShardPlan plan_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<OnlineAlgorithm>> algs_;  // one per shard
+};
+
+}  // namespace treecache::engine

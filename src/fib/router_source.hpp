@@ -34,6 +34,7 @@ class RouterSource final : public RequestSource {
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
   void observe(const StepOutcome& outcome) override;
+  [[nodiscard]] bool is_closed_loop() const override { return true; }
 
   /// Event-loop statistics accumulated so far. `algorithm_cost` is left
   /// zero — the caller owns the algorithm and its cost.

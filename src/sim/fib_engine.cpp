@@ -1,5 +1,6 @@
 #include "sim/fib_engine.hpp"
 
+#include "engine/sharded_engine.hpp"
 #include "fib/fib_workloads.hpp"
 #include "fib/router_source.hpp"
 #include "sim/simulator.hpp"
@@ -20,15 +21,19 @@ fib::RouterSimConfig fib_router_config(const Params& params,
 
 FibScenarioResult run_fib_scenario(const fib::RuleTree& rules,
                                    const FibScenario& scenario) {
-  const auto alg =
-      make_algorithm(scenario.algorithm, rules.tree, scenario.params);
-  // The closed-loop router is just another RequestSource: the shared
-  // run_source driver steps the algorithm and feeds outcomes back.
+  // The closed-loop router is just another RequestSource, driven through
+  // the execution engine's single-shard path (which delegates to
+  // run_source, so outcomes still feed back after every round). Sharded
+  // FIB throughput uses the open-loop fib* workloads via
+  // `treecache throughput --tree fib`; cross-shard closed loops are a
+  // ROADMAP open item.
+  engine::ShardedEngine eng(rules.tree, scenario.algorithm, scenario.params,
+                            {.shards = 1, .threads = 1});
   fib::RouterSource source(rules,
                            fib_router_config(scenario.params, scenario.seed));
-  (void)run_source(*alg, source);
+  const engine::EngineResult result = eng.run(source);
   FibScenarioResult out{.scenario = scenario, .router = source.stats()};
-  out.router.algorithm_cost = alg->cost();
+  out.router.algorithm_cost = result.total.cost;
   return out;
 }
 

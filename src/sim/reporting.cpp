@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <string>
 
+#include "engine/sharded_engine.hpp"
 #include "util/check.hpp"
 
 namespace treecache::sim {
@@ -54,7 +55,9 @@ util::Json to_json(const RunResult& result) {
       .set("phase_restarts", result.phase_restarts)
       .set("restart_evictions", result.restart_evictions)
       .set("max_cache_size", std::uint64_t{result.max_cache_size})
-      .set("final_cache_size", std::uint64_t{result.final_cache_size});
+      .set("final_cache_size", std::uint64_t{result.final_cache_size})
+      .set("wall_seconds", result.wall_seconds)
+      .set("requests_per_second", result.requests_per_second());
 }
 
 util::Json to_json(const Scenario& scenario) {
@@ -70,7 +73,7 @@ util::Json to_json(const Scenario& scenario) {
 
 util::Json scenario_json(const ScenarioResult& result) {
   return util::Json::object()
-      .set("schema", "treecache.run/1")
+      .set("schema", "treecache.run/2")
       .set("scenario", to_json(result.scenario))
       .set("result", to_json(result.run));
 }
@@ -112,6 +115,35 @@ util::Json fib_sweep_json(const std::vector<FibScenarioResult>& cells) {
   return util::Json::object()
       .set("schema", "treecache.fib/1")
       .set("cells", std::move(rows));
+}
+
+util::Json throughput_json(const Scenario& scenario,
+                           const engine::EngineConfig& config,
+                           const engine::ShardPlan& plan,
+                           const engine::EngineResult& result,
+                           std::string_view trace_path) {
+  util::Json scenario_doc = to_json(scenario);
+  if (!trace_path.empty()) scenario_doc.set("trace", std::string(trace_path));
+  util::Json per_shard = util::Json::array();
+  for (std::size_t s = 0; s < result.per_shard.size(); ++s) {
+    util::Json entry = util::Json::object()
+                           .set("shard", std::uint64_t{s})
+                           .set("nodes", std::uint64_t{plan.shard(s).nodes()})
+                           .set("subtree_roots",
+                                std::uint64_t{plan.shard(s).roots.size()});
+    entry.set("result", to_json(result.per_shard[s]));
+    per_shard.push(std::move(entry));
+  }
+  return util::Json::object()
+      .set("schema", "treecache.throughput/1")
+      .set("scenario", std::move(scenario_doc))
+      .set("engine", util::Json::object()
+                         .set("shards_requested", std::uint64_t{config.shards})
+                         .set("shards", std::uint64_t{result.shards})
+                         .set("threads", std::uint64_t{result.threads})
+                         .set("batch", std::uint64_t{config.batch}))
+      .set("result", to_json(result.total))
+      .set("per_shard", std::move(per_shard));
 }
 
 std::string write_bench_json(std::string_view id, std::string_view title,

@@ -5,9 +5,13 @@
 //
 // JSON side: machine-readable documents for the CLI (`--json`), the grid
 // engine and the benches. Every top-level document carries a "schema" tag:
-//   treecache.run/1    one scenario        {schema, scenario, result}
+//   treecache.run/2    one scenario        {schema, scenario, result}
+//                      (v2: result gained wall_seconds/requests_per_second,
+//                      so every --json run doubles as a perf sample)
 //   treecache.grid/1   algorithm × workload grid    {schema, cells: [...]}
 //   treecache.fib/1    closed-loop FIB sweep        {schema, cells: [...]}
+//   treecache.throughput/1   sharded-engine run
+//                      {schema, scenario, engine, result, per_shard: [...]}
 //   treecache.bench/1  bench table   {schema, experiment, title, rows: [...]}
 // The bench emitter writes BENCH_<id>.json into $TREECACHE_BENCH_JSON_DIR,
 // which is how CI captures the perf trajectory as artifacts.
@@ -19,6 +23,15 @@
 #include "sim/fib_engine.hpp"
 #include "sim/scenario.hpp"
 #include "util/json.hpp"
+
+// The sim layer only *reports on* the engine; keep the upward dependency to
+// these forward declarations (engine/sharded_engine.hpp is included by
+// reporting.cpp alone).
+namespace treecache::engine {
+struct EngineConfig;
+struct EngineResult;
+class ShardPlan;
+}  // namespace treecache::engine
 
 namespace treecache::sim {
 
@@ -37,7 +50,7 @@ void print_note(std::string_view label, std::string_view value);
 /// {algorithm, workload, seed, params} of one scenario.
 [[nodiscard]] util::Json to_json(const Scenario& scenario);
 
-/// Full single-run document (schema treecache.run/1).
+/// Full single-run document (schema treecache.run/2).
 [[nodiscard]] util::Json scenario_json(const ScenarioResult& result);
 
 /// Full grid document over run_grid cells (schema treecache.grid/1).
@@ -49,6 +62,18 @@ void print_note(std::string_view label, std::string_view value);
 /// Full FIB sweep document (schema treecache.fib/1).
 [[nodiscard]] util::Json fib_sweep_json(
     const std::vector<FibScenarioResult>& cells);
+
+/// Full sharded-engine document (schema treecache.throughput/1): the
+/// scenario, the engine geometry (requested and planned shard counts,
+/// workers, batch), the aggregate result and one entry per shard. A
+/// trace-driven run (empty scenario.workload) passes the file in
+/// `trace_path`, recorded inside the scenario object exactly as
+/// treecache.run/2 records it.
+[[nodiscard]] util::Json throughput_json(const Scenario& scenario,
+                                         const engine::EngineConfig& config,
+                                         const engine::ShardPlan& plan,
+                                         const engine::EngineResult& result,
+                                         std::string_view trace_path = {});
 
 /// Machine-readable companion to a bench's console tables. When
 /// $TREECACHE_BENCH_JSON_DIR is set, wraps `rows` (an array of row

@@ -1,57 +1,47 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
 #include <array>
+
+#include "util/stopwatch.hpp"
 
 namespace treecache::sim {
 
 RunResult run_source(OnlineAlgorithm& alg, RequestSource& source,
                      const StepObserver& observer, bool validate_every_step) {
   RunResult result;
-  std::array<Request, 4096> buffer;
-  for (;;) {
-    const std::size_t n = source.fill(buffer);
-    if (n == 0) break;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Request request = buffer[i];
-      const StepOutcome out = alg.step(request);
-      ++result.rounds;
-      if (out.paid) {
-        ++result.paid_requests;
-        if (request.sign == Sign::kPositive) {
-          ++result.paid_positive;
-        } else {
-          ++result.paid_negative;
+  const Stopwatch timer;
+  std::array<Request, kDriverBatchSize> buffer;
+  if (!observer && !validate_every_step) {
+    // Hot path: whole batches go through step_batch with the accounting
+    // sink — no per-round std::function test, no StepOutcome copy, and no
+    // virtual step() dispatch for algorithms that override step_batch.
+    AccountingSink sink(result, alg, &source);
+    for (;;) {
+      const std::size_t n = source.fill(buffer);
+      if (n == 0) break;
+      alg.step_batch(std::span<const Request>(buffer.data(), n), sink);
+    }
+  } else {
+    for (;;) {
+      const std::size_t n = source.fill(buffer);
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Request request = buffer[i];
+        const StepOutcome out = alg.step(request);
+        accumulate_outcome(result, request, out, alg.cache().size());
+        if (validate_every_step) {
+          TC_CHECK(alg.cache().is_valid(), "cache stopped being a subforest");
         }
+        // Feedback before the observer: the source's view must be current
+        // by the time anything else inspects the round.
+        source.observe(out);
+        if (observer) observer(result.rounds, request, out);
       }
-      result.evicted_nodes += out.also_evicted.size();
-      switch (out.change) {
-        case ChangeKind::kNone:
-          break;
-        case ChangeKind::kFetch:
-          result.fetched_nodes += out.changed.size();
-          break;
-        case ChangeKind::kEvict:
-          result.evicted_nodes += out.changed.size();
-          break;
-        case ChangeKind::kPhaseRestart:
-          ++result.phase_restarts;
-          result.restart_evictions += out.changed.size();
-          break;
-      }
-      result.max_cache_size =
-          std::max(result.max_cache_size, alg.cache().size());
-      if (validate_every_step) {
-        TC_CHECK(alg.cache().is_valid(), "cache stopped being a subforest");
-      }
-      // Feedback before the observer: the source's view must be current by
-      // the time anything else inspects the round.
-      source.observe(out);
-      if (observer) observer(result.rounds, request, out);
     }
   }
   result.cost = alg.cost();
   result.final_cache_size = alg.cache().size();
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

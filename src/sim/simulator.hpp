@@ -2,6 +2,13 @@
 // RequestSource (open-loop trace generators and closed-loop feedback
 // sources alike), steps the algorithm, feeds outcomes back to the source,
 // and aggregates statistics. run_trace is the span convenience over it.
+//
+// The no-observer, no-validation configuration is the hot path: it drives
+// the algorithm through OnlineAlgorithm::step_batch with an AccountingSink,
+// so a round pays no std::function emptiness test, no StepOutcome copy and
+// (for algorithms that override step_batch) no virtual step() dispatch.
+// sharded execution at scale lives in engine/sharded_engine.hpp, which
+// reuses the same per-round accounting so its totals are comparable.
 #pragma once
 
 #include <functional>
@@ -24,9 +31,92 @@ struct RunResult {
   std::uint64_t restart_evictions = 0;  // nodes evicted by restarts
   std::size_t max_cache_size = 0;
   std::size_t final_cache_size = 0;
+  // Wall-clock seconds the driver spent on the run, so every result doubles
+  // as a throughput sample. Measured, hence excluded from equality: two
+  // replays of one scenario are "the same run" even though their timings
+  // differ.
+  double wall_seconds = 0.0;
 
-  friend bool operator==(const RunResult&, const RunResult&) = default;
+  /// Rounds per wall-clock second; 0 when no time was recorded.
+  [[nodiscard]] double requests_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(rounds) / wall_seconds
+                              : 0.0;
+  }
+
+  friend bool operator==(const RunResult& a, const RunResult& b) {
+    return a.cost == b.cost && a.rounds == b.rounds &&
+           a.paid_requests == b.paid_requests &&
+           a.paid_positive == b.paid_positive &&
+           a.paid_negative == b.paid_negative &&
+           a.fetched_nodes == b.fetched_nodes &&
+           a.evicted_nodes == b.evicted_nodes &&
+           a.phase_restarts == b.phase_restarts &&
+           a.restart_evictions == b.restart_evictions &&
+           a.max_cache_size == b.max_cache_size &&
+           a.final_cache_size == b.final_cache_size;
+  }
 };
+
+/// Folds one round into `result`: payment split, changeset tallies, and the
+/// running cache-size peak (`cache_size` is the cache size right after the
+/// step). Shared by run_source and the sharded engine so their accounting
+/// can never drift apart. cost/final_cache_size/wall_seconds are finalized
+/// by the caller once the stream ends.
+inline void accumulate_outcome(RunResult& result, const Request& request,
+                               const StepOutcome& outcome,
+                               std::size_t cache_size) {
+  ++result.rounds;
+  if (outcome.paid) {
+    ++result.paid_requests;
+    if (request.sign == Sign::kPositive) {
+      ++result.paid_positive;
+    } else {
+      ++result.paid_negative;
+    }
+  }
+  result.evicted_nodes += outcome.also_evicted.size();
+  switch (outcome.change) {
+    case ChangeKind::kNone:
+      break;
+    case ChangeKind::kFetch:
+      result.fetched_nodes += outcome.changed.size();
+      break;
+    case ChangeKind::kEvict:
+      result.evicted_nodes += outcome.changed.size();
+      break;
+    case ChangeKind::kPhaseRestart:
+      ++result.phase_restarts;
+      result.restart_evictions += outcome.changed.size();
+      break;
+  }
+  if (cache_size > result.max_cache_size) result.max_cache_size = cache_size;
+}
+
+/// The hot-path sink: accumulates every outcome into a RunResult and
+/// (when a source is attached) forwards the closed-loop feedback. This is
+/// what run_source hands to step_batch when no observer is set; the sharded
+/// engine attaches one per shard, without a source.
+class AccountingSink final : public OutcomeSink {
+ public:
+  AccountingSink(RunResult& result, const OnlineAlgorithm& alg,
+                 RequestSource* source)
+      : result_(&result), alg_(&alg), source_(source) {}
+
+  void on_outcome(const Request& request,
+                  const StepOutcome& outcome) override {
+    accumulate_outcome(*result_, request, outcome, alg_->cache().size());
+    if (source_ != nullptr) source_->observe(outcome);
+  }
+
+ private:
+  RunResult* result_;
+  const OnlineAlgorithm* alg_;
+  RequestSource* source_;
+};
+
+/// Requests pulled from a source per fill() call by run_source (and the
+/// demux chunk the sharded engine defaults to).
+inline constexpr std::size_t kDriverBatchSize = 4096;
 
 /// Called after every round with (1-based round, request, outcome).
 using StepObserver =
@@ -35,7 +125,8 @@ using StepObserver =
 /// Runs the source to exhaustion from the algorithm's current state: pulls
 /// batches via RequestSource::fill, steps each request, and hands every
 /// StepOutcome back to source.observe() (closed-loop sources depend on
-/// this). Memory use is O(1) in the stream length. When
+/// this). Memory use is O(1) in the stream length. With no observer and no
+/// validation the run goes through the batched hot path; when
 /// `validate_every_step` is set, the cache is checked to be a subforest
 /// after every round (O(n) per round — test-sized runs only).
 [[nodiscard]] RunResult run_source(OnlineAlgorithm& alg,

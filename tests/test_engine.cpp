@@ -1,0 +1,320 @@
+// The sharded execution engine: shard-plan partition invariants, the
+// determinism contract (worker-thread count never changes results; the
+// sharded run equals independent per-shard sequential runs), and the
+// batched hot path (step_batch ≡ scalar step for every registered
+// algorithm on every registered workload).
+#include "engine/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/shard_plan.hpp"
+#include "fib/fib_workloads.hpp"
+#include "fib/router_source.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+#include "tree/tree_builder.hpp"
+#include "workload/generators.hpp"
+
+namespace treecache {
+namespace {
+
+sim::Params smoke_params() {
+  sim::Params p;
+  p.set("alpha", "3");
+  p.set("capacity", "8");
+  p.set("length", "600");
+  p.set("rules", "60");  // keep the fib* substrate test-sized
+  return p;
+}
+
+// --- ShardPlan -----------------------------------------------------------
+
+TEST(ShardPlan, TrivialPlanIsTheUniverseItself) {
+  Rng rng(5);
+  const Tree tree = trees::random_recursive(50, rng);
+  const engine::ShardPlan plan(tree, 1);
+  ASSERT_EQ(plan.num_shards(), 1u);
+  // No relabeled copy: shard 0 runs on the universe directly.
+  EXPECT_EQ(&plan.shard_tree(0), &tree);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    EXPECT_EQ(plan.shard_of(v), 0u);
+    EXPECT_EQ(plan.to_local(v), v);
+    EXPECT_EQ(plan.to_global(0, v), v);
+  }
+}
+
+TEST(ShardPlan, PartitionsThePreorderIntoSubtreeSlices) {
+  Rng rng(7);
+  const Tree tree = trees::random_recursive(500, rng);
+  const engine::ShardPlan plan(tree, 4);
+  ASSERT_GE(plan.num_shards(), 2u);
+  ASSERT_LE(plan.num_shards(), 4u);
+
+  // The shard intervals tile [0, n) in order; membership matches the
+  // interval; shard 0 owns the root.
+  std::uint32_t expected_begin = 0;
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    const engine::Shard& shard = plan.shard(s);
+    EXPECT_EQ(shard.preorder_begin, expected_begin) << "shard " << s;
+    EXPECT_GT(shard.nodes(), 0u) << "shard " << s;
+    expected_begin = shard.preorder_end;
+    covered += shard.nodes();
+    // Every shard owns whole top-level subtrees.
+    for (const NodeId r : shard.roots) {
+      EXPECT_EQ(tree.parent(r), tree.root());
+    }
+  }
+  EXPECT_EQ(expected_begin, tree.size());
+  EXPECT_EQ(covered, tree.size());
+  EXPECT_EQ(plan.shard_of(tree.root()), 0u);
+
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const std::size_t s = plan.shard_of(v);
+    const engine::Shard& shard = plan.shard(s);
+    EXPECT_GE(tree.preorder_index(v), shard.preorder_begin);
+    EXPECT_LT(tree.preorder_index(v), shard.preorder_end);
+    // Local ids round-trip, and land inside the shard tree.
+    const NodeId local = plan.to_local(v);
+    ASSERT_LT(local, plan.shard_tree(s).size());
+    EXPECT_EQ(plan.to_global(s, local), v);
+  }
+
+  // Shards beyond the first run on a replica of the global root: local
+  // node 0 maps back to the universe root and parents the subtree roots.
+  for (std::size_t s = 1; s < plan.num_shards(); ++s) {
+    const Tree& local = plan.shard_tree(s);
+    EXPECT_EQ(local.size(), plan.shard(s).nodes() + 1);
+    EXPECT_EQ(local.root(), NodeId{0});
+    EXPECT_EQ(plan.to_global(s, 0), tree.root());
+    for (const NodeId r : plan.shard(s).roots) {
+      EXPECT_EQ(local.parent(plan.to_local(r)), NodeId{0});
+    }
+  }
+  // Shard 0 keeps the real root.
+  EXPECT_EQ(plan.shard_tree(0).size(), plan.shard(0).nodes());
+  EXPECT_EQ(plan.to_local(tree.root()), NodeId{0});
+}
+
+TEST(ShardPlan, ShardCountCapsAtTopLevelSubtrees) {
+  const Tree star = trees::star(5);  // root + 5 leaf children
+  EXPECT_EQ(engine::ShardPlan(star, 16).num_shards(), 5u);
+  const Tree path = trees::path(20);  // root has one child
+  EXPECT_EQ(engine::ShardPlan(path, 8).num_shards(), 1u);
+  const Tree lone = trees::path(1);  // no children at all
+  EXPECT_EQ(engine::ShardPlan(lone, 8).num_shards(), 1u);
+}
+
+TEST(ShardPlan, BalancesSubtreeMassAcrossShards) {
+  // Eight equal top-level subtrees must land one per shard.
+  const Tree tree = trees::complete_kary(4, 8);
+  const engine::ShardPlan plan(tree, 8);
+  ASSERT_EQ(plan.num_shards(), 8u);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(plan.shard(s).roots.size(), 1u) << "shard " << s;
+  }
+}
+
+TEST(ShardPlan, FibRuleTreeShardsByTopLevelPrefix) {
+  const sim::Params params = smoke_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(params);
+  const engine::ShardPlan plan(rt.tree, 4);
+  // Node 0 is the artificial default rule; every shard boundary falls
+  // between top-level prefixes.
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    for (const NodeId r : plan.shard(s).roots) {
+      EXPECT_EQ(rt.tree.parent(r), NodeId{0});
+    }
+  }
+}
+
+// --- ShardedEngine determinism -------------------------------------------
+
+sim::Params engine_params() {
+  sim::Params p;
+  p.set("alpha", "4");
+  p.set("capacity", "64");
+  p.set("length", "20000");
+  p.set("neg", "0.2");
+  return p;
+}
+
+TEST(ShardedEngine, EqualsIndependentPerShardSequentialRuns) {
+  Rng rng(11);
+  const Tree tree = trees::random_recursive(300, rng);
+  const sim::Params params = engine_params();
+  const Trace trace = sim::make_workload("zipf", tree, params, 17);
+
+  engine::ShardedEngine eng(tree, "tc", params,
+                            {.shards = 4, .threads = 2, .batch = 128});
+  TraceSource source{std::span<const Request>(trace)};
+  const engine::EngineResult sharded = eng.run(source);
+  const engine::ShardPlan& plan = eng.plan();
+  ASSERT_GE(plan.num_shards(), 2u);
+
+  Cost sum;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    // Reference: this shard's subsequence, remapped, run sequentially on a
+    // fresh instance over the shard tree.
+    Trace local;
+    for (const Request& r : trace) {
+      if (plan.shard_of(r.node) == s) local.push_back(plan.to_local(r));
+    }
+    const auto alg = sim::make_algorithm("tc", plan.shard_tree(s), params);
+    const sim::RunResult reference = sim::run_trace(*alg, local);
+    EXPECT_EQ(sharded.per_shard[s], reference) << "shard " << s;
+    sum += reference.cost;
+  }
+  EXPECT_EQ(sharded.total.cost, sum);
+  EXPECT_EQ(sharded.total.rounds, trace.size());
+}
+
+TEST(ShardedEngine, ResultsInvariantAcrossThreadCounts) {
+  const Tree tree = trees::complete_kary(4, 8);
+  const sim::Params params = engine_params();
+
+  std::vector<engine::EngineResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    engine::ShardedEngine eng(tree, "tc", params,
+                              {.shards = 8, .threads = threads,
+                               .batch = 256});
+    const auto source = sim::make_source("zipf", tree, params, 23);
+    results.push_back(eng.run(*source));
+    EXPECT_EQ(results.back().threads, threads);
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].total, results[0].total) << "threads run " << i;
+    ASSERT_EQ(results[i].per_shard.size(), results[0].per_shard.size());
+    for (std::size_t s = 0; s < results[0].per_shard.size(); ++s) {
+      EXPECT_EQ(results[i].per_shard[s], results[0].per_shard[s])
+          << "shard " << s << " threads run " << i;
+    }
+  }
+}
+
+TEST(ShardedEngine, SingleShardEqualsRunSource) {
+  Rng rng(13);
+  const Tree tree = trees::random_recursive(80, rng);
+  const sim::Params params = engine_params();
+
+  engine::ShardedEngine eng(tree, "tc", params, {.shards = 1, .threads = 4});
+  const auto engine_source = sim::make_source("churn", tree, params, 31);
+  const engine::EngineResult via_engine = eng.run(*engine_source);
+
+  const auto alg = sim::make_algorithm("tc", tree, params);
+  const auto source = sim::make_source("churn", tree, params, 31);
+  const sim::RunResult direct = sim::run_source(*alg, *source);
+  EXPECT_EQ(via_engine.total, direct);
+  EXPECT_EQ(via_engine.shards, 1u);
+}
+
+TEST(ShardedEngine, RejectsClosedLoopSourcesWhenSharded) {
+  const sim::Params params = smoke_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(params);
+  const fib::RouterSimConfig router{.packets = 200};
+  // Multi-shard runs never deliver observe() feedback, so a closed-loop
+  // source must be refused up front instead of silently starving.
+  engine::ShardedEngine sharded(rt.tree, "tc", params, {.shards = 4});
+  fib::RouterSource closed(rt, router);
+  EXPECT_THROW((void)sharded.run(closed), CheckFailure);
+  // The single-shard path delegates to run_source and accepts it.
+  engine::ShardedEngine single(rt.tree, "tc", params, {.shards = 1});
+  fib::RouterSource fresh(rt, router);
+  EXPECT_GT(single.run(fresh).total.rounds, 0u);
+}
+
+TEST(ShardedEngine, ReportsWallTimeAndThroughput) {
+  const Tree tree = trees::complete_kary(3, 4);
+  engine::ShardedEngine eng(tree, "tc", engine_params(),
+                            {.shards = 4, .threads = 2});
+  const auto source = sim::make_source("zipf", tree, engine_params(), 3);
+  const engine::EngineResult result = eng.run(*source);
+  EXPECT_GT(result.total.wall_seconds, 0.0);
+  EXPECT_GT(result.total.requests_per_second(), 0.0);
+  // Wall time is measured, not accounted: it never breaks result equality.
+  sim::RunResult a = result.total;
+  sim::RunResult b = result.total;
+  b.wall_seconds = a.wall_seconds + 1.0;
+  EXPECT_EQ(a, b);
+}
+
+// --- step_batch ≡ scalar step --------------------------------------------
+
+struct OutcomeDigest {
+  bool paid = false;
+  ChangeKind change = ChangeKind::kNone;
+  std::vector<NodeId> changed;
+  std::vector<NodeId> also_evicted;
+  std::uint32_t aborted_fetch_size = 0;
+
+  friend bool operator==(const OutcomeDigest&,
+                         const OutcomeDigest&) = default;
+};
+
+OutcomeDigest digest(const StepOutcome& out) {
+  return OutcomeDigest{
+      out.paid, out.change,
+      std::vector<NodeId>(out.changed.begin(), out.changed.end()),
+      std::vector<NodeId>(out.also_evicted.begin(), out.also_evicted.end()),
+      out.aborted_fetch_size};
+}
+
+class RecordingSink final : public OutcomeSink {
+ public:
+  void on_outcome(const Request&, const StepOutcome& outcome) override {
+    digests.push_back(digest(outcome));
+  }
+  std::vector<OutcomeDigest> digests;
+};
+
+TEST(StepBatch, MatchesScalarStepForEveryAlgorithmAndWorkload) {
+  Rng rng(19);
+  const Tree generic_tree = trees::random_recursive(40, rng);
+  const sim::Params params = smoke_params();
+  const fib::RuleTree rule_tree = fib::rule_tree_from_params(params);
+
+  for (const std::string& alg_name :
+       sim::AlgorithmRegistry::instance().names()) {
+    for (const std::string& w_name :
+         sim::WorkloadRegistry::instance().names()) {
+      SCOPED_TRACE(alg_name + " x " + w_name);
+      const Tree& tree =
+          fib::is_fib_workload_name(w_name) ? rule_tree.tree : generic_tree;
+      const Trace trace = sim::make_workload(w_name, tree, params, 41);
+
+      const auto scalar = sim::make_algorithm(alg_name, tree, params);
+      std::vector<OutcomeDigest> scalar_digests;
+      scalar_digests.reserve(trace.size());
+      for (const Request& r : trace) {
+        scalar_digests.push_back(digest(scalar->step(r)));
+      }
+
+      const auto batched = sim::make_algorithm(alg_name, tree, params);
+      RecordingSink sink;
+      // Uneven chunks, so batch boundaries land everywhere in the stream.
+      const std::span<const Request> all(trace);
+      std::size_t begin = 0;
+      std::size_t len = 1;
+      while (begin < all.size()) {
+        const std::size_t take = std::min(len, all.size() - begin);
+        batched->step_batch(all.subspan(begin, take), sink);
+        begin += take;
+        len = len % 7 + 1;
+      }
+
+      ASSERT_EQ(sink.digests.size(), scalar_digests.size());
+      for (std::size_t i = 0; i < scalar_digests.size(); ++i) {
+        ASSERT_EQ(sink.digests[i], scalar_digests[i]) << "round " << i + 1;
+      }
+      EXPECT_EQ(batched->cost(), scalar->cost());
+      EXPECT_EQ(batched->cache().size(), scalar->cache().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treecache

@@ -25,6 +25,11 @@
 //   run        --tree tree.txt --algo <algorithm> --alpha A --capacity K
 //              (--trace trace.txt | --workload <workload> [--length N ...])
 //              [--seed S] [--validate] [--json out.json]
+//   throughput sharded-engine run (engine/sharded_engine.hpp): --tree
+//              tree.txt|fib --algo <algorithm> [--workload <w>|--trace f]
+//              [--shards S] [--threads N] [--batch B] [--seed S]
+//              [--json out.json]; aggregate costs are identical for every
+//              --threads value (per-shard routing is deterministic)
 //   sweep      --tree tree.txt --algos a,b,... --workloads w1,w2,...
 //              [shared params] [--seed S] [--json out.json]
 //   fib        closed-loop router simulation (switch + controller) on a
@@ -55,6 +60,7 @@
 #include "core/field_tracker.hpp"
 #include "core/request_source.hpp"
 #include "core/tree_cache.hpp"  // `fields` instruments TC specifically
+#include "engine/sharded_engine.hpp"
 #include "fib/fib_workloads.hpp"
 #include "fib/rib_gen.hpp"
 #include "fib/rule_tree.hpp"
@@ -74,8 +80,8 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: treecache <list|gen-tree|gen-rib|gen-trace|run|sweep|fib|"
-         "opt|fields> [--flags]\n"
+      << "usage: treecache <list|gen-tree|gen-rib|gen-trace|run|throughput|"
+         "sweep|fib|opt|fields> [--flags]\n"
          "see the header of tools/treecache_cli.cpp for the full list\n";
   return 2;
 }
@@ -85,11 +91,13 @@ int usage() {
 /// flags are dropped: they never parameterize a scenario, and keeping
 /// them out makes the params echoed into --json documents byte-identical
 /// across output paths.
-sim::Params params_from(const Flags& flags) {
+sim::Params params_from(const Flags& flags,
+                        std::initializer_list<const char*> extra_drop = {}) {
   auto values = flags.all();
   for (const char* key : {"json", "out", "tree", "trace", "validate"}) {
     values.erase(key);
   }
+  for (const char* key : extra_drop) values.erase(key);
   return sim::Params(std::move(values));
 }
 
@@ -299,7 +307,7 @@ int cmd_run(const Flags& flags) {
     }
     util::save_json(flags.get("json", "-"),
                     util::Json::object()
-                        .set("schema", "treecache.run/1")
+                        .set("schema", "treecache.run/2")
                         .set("scenario", std::move(scenario_doc))
                         .set("result", sim::to_json(result)));
   }
@@ -316,6 +324,78 @@ int cmd_run(const Flags& flags) {
               << "phase restarts:  " << result.phase_restarts << "\n"
               << "max cache size:  " << result.max_cache_size << "\n"
               << "final cache:     " << result.final_cache_size << "\n";
+  }
+  return 0;
+}
+
+int cmd_throughput(const Flags& flags) {
+  const Tree tree = load_tree(flags);
+  // shards/threads/batch parameterize the engine, not the scenario: drop
+  // them so two runs that differ only in engine geometry echo identical
+  // scenario params (their costs are identical too — that is the contract).
+  const sim::Params params = params_from(flags, {"shards", "threads",
+                                                 "batch"});
+  const std::string name = flags.get("algo", flags.get("alg", "tc"));
+  const engine::EngineConfig config{
+      .shards = flags.get_u64("shards", 1),
+      .threads = flags.get_u64("threads", 1),
+      .batch = flags.get_u64("batch", sim::kDriverBatchSize)};
+
+  TC_CHECK(!(flags.has("trace") && flags.has("workload")),
+           "--trace and --workload are mutually exclusive");
+  const std::string workload =
+      flags.has("trace") ? "" : flags.get("workload", "zipf");
+  const auto source = [&]() -> std::unique_ptr<RequestSource> {
+    if (!workload.empty()) {
+      return sim::make_source(workload, tree, params,
+                              flags.get_u64("seed", 1));
+    }
+    return std::make_unique<FileTraceSource>(flags.get("trace", ""),
+                                             tree.size());
+  }();
+
+  engine::ShardedEngine eng(tree, name, params, config);
+  const engine::EngineResult result = eng.run(*source);
+
+  if (flags.has("json")) {
+    const sim::Scenario scenario{.algorithm = name,
+                                 .workload = workload,
+                                 .params = params,
+                                 .seed = flags.get_u64("seed", 1)};
+    const std::string trace_path =
+        workload.empty() ? flags.get("trace", "") : "";
+    // eng.config(), not the raw flags: the engine normalizes the batch for
+    // single-shard runs, and the document must echo what actually ran.
+    util::save_json(flags.get("json", "-"),
+                    sim::throughput_json(scenario, eng.config(), eng.plan(),
+                                         result, trace_path));
+  }
+  if (stdout_is_human(flags)) {
+    ConsoleTable table({"shard", "nodes", "roots", "rounds", "service",
+                        "reorg", "total", "max cache"});
+    for (std::size_t s = 0; s < result.per_shard.size(); ++s) {
+      const sim::RunResult& r = result.per_shard[s];
+      const engine::Shard& shard = eng.plan().shard(s);
+      table.add_row({std::to_string(s),
+                     ConsoleTable::fmt(std::uint64_t{shard.nodes()}),
+                     ConsoleTable::fmt(std::uint64_t{shard.roots.size()}),
+                     ConsoleTable::fmt(r.rounds),
+                     ConsoleTable::fmt(r.cost.service),
+                     ConsoleTable::fmt(r.cost.reorg),
+                     ConsoleTable::fmt(r.cost.total()),
+                     ConsoleTable::fmt(std::uint64_t{r.max_cache_size})});
+    }
+    table.print();
+    std::cout << "shards:          " << result.shards << " (requested "
+              << config.shards << ")\n"
+              << "threads:         " << result.threads << "\n"
+              << "rounds:          " << result.total.rounds << "\n"
+              << "total cost:      " << result.total.cost.total() << "\n"
+              << "wall seconds:    " << result.total.wall_seconds << "\n"
+              << "requests/sec:    "
+              << static_cast<std::uint64_t>(
+                     result.total.requests_per_second())
+              << "\n";
   }
   return 0;
 }
@@ -438,6 +518,7 @@ int dispatch(int argc, char** argv) {
   if (command == "gen-rib") return cmd_gen_rib(flags);
   if (command == "gen-trace") return cmd_gen_trace(flags);
   if (command == "run") return cmd_run(flags);
+  if (command == "throughput") return cmd_throughput(flags);
   if (command == "sweep") return cmd_sweep(flags);
   if (command == "fib") return cmd_fib(flags);
   if (command == "opt") return cmd_opt(flags);
