@@ -2,9 +2,63 @@
 
 #include <algorithm>
 
+// Only the .cpp sees the plan type: core headers stay engine-free, and the
+// whole library is one object target, so there is no link-level cycle.
+#include "engine/shard_plan.hpp"
 #include "util/check.hpp"
 
 namespace treecache {
+
+std::vector<std::unique_ptr<RequestSource>> RequestSource::split(
+    const engine::ShardPlan& plan) const {
+  // Closed loops need genuine per-shard mirrors (the stream itself depends
+  // on per-shard feedback); a generic filter over a replay cannot provide
+  // them, so such sources must override split() or stay single-shard.
+  if (is_closed_loop()) return {};
+  std::vector<std::unique_ptr<RequestSource>> out;
+  out.reserve(plan.num_shards());
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    auto replay = fork();
+    if (replay == nullptr) return {};
+    out.push_back(
+        std::make_unique<ShardFilterSource>(std::move(replay), plan, s));
+  }
+  return out;
+}
+
+ShardFilterSource::ShardFilterSource(std::unique_ptr<RequestSource> inner,
+                                     const engine::ShardPlan& plan,
+                                     std::size_t shard)
+    : inner_(std::move(inner)), plan_(&plan), shard_(shard) {
+  TC_CHECK(inner_ != nullptr, "shard filter needs a source to filter");
+  TC_CHECK(shard_ < plan.num_shards(), "shard index outside the plan");
+  inner_->reset();  // always a from-the-start replay, whatever fork() did
+}
+
+std::size_t ShardFilterSource::fill(std::span<Request> buffer) {
+  scratch_.resize(buffer.size());
+  std::size_t n = 0;
+  while (n < buffer.size()) {
+    // Pull at most the space left: the filtered yield can only shrink, so
+    // owned requests always fit without carry-over between calls.
+    const std::size_t got =
+        inner_->fill({scratch_.data(), buffer.size() - n});
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) {
+      if (plan_->shard_of(scratch_[i].node) == shard_) {
+        buffer[n++] = plan_->to_local(scratch_[i]);
+      }
+    }
+  }
+  return n;
+}
+
+std::unique_ptr<RequestSource> ShardFilterSource::fork() const {
+  auto replay = inner_->fork();
+  if (replay == nullptr) return nullptr;
+  return std::make_unique<ShardFilterSource>(std::move(replay), *plan_,
+                                             shard_);
+}
 
 std::size_t TraceSource::fill(std::span<Request> buffer) {
   const std::size_t n =
@@ -13,6 +67,15 @@ std::size_t TraceSource::fill(std::span<Request> buffer) {
               buffer.begin());
   position_ += n;
   return n;
+}
+
+std::unique_ptr<RequestSource> TraceSource::fork() const {
+  // Owning sources view their own storage; forking one must copy the trace
+  // or the fork would dangle into this instance.
+  if (!owned_.empty() && view_.data() == owned_.data()) {
+    return std::make_unique<TraceSource>(owned_);
+  }
+  return std::make_unique<TraceSource>(view_);
 }
 
 FileTraceSource::FileTraceSource(std::string path, std::size_t tree_size)

@@ -29,11 +29,17 @@
 #include <cstdint>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/trace.hpp"
+
+namespace treecache::engine {
+class ShardPlan;  // engine/shard_plan.hpp
+}  // namespace treecache::engine
 
 namespace treecache {
 
@@ -66,16 +72,64 @@ class RequestSource {
   virtual void observe(const StepOutcome& /*outcome*/) {}
 
   /// True when the stream depends on observe() feedback. Drivers that
-  /// cannot deliver outcomes in stream order (the sharded engine with more
-  /// than one shard) refuse closed-loop sources instead of silently
-  /// starving their mirrors.
+  /// cannot deliver outcomes in global stream order (the sharded engine
+  /// with more than one shard) must run such a source through split():
+  /// each per-shard mirror then receives its own outcomes in per-shard
+  /// order. A closed-loop source that cannot split is refused.
   [[nodiscard]] virtual bool is_closed_loop() const { return false; }
+
+  /// A fresh instance that replays this source's stream from the very
+  /// beginning (independent of how far `this` has been consumed), or
+  /// nullptr when the source cannot duplicate itself. The default split()
+  /// below is built on this hook, so implementing fork() makes an
+  /// open-loop source shardable for free.
+  [[nodiscard]] virtual std::unique_ptr<RequestSource> fork() const {
+    return nullptr;
+  }
+
+  /// Splits the stream into one source per shard of `plan` (which must
+  /// outlive the returned sources). Shard s's source emits exactly the
+  /// subsequence of this stream owned by shard s — in order, and remapped
+  /// into shard-LOCAL node ids (ShardPlan::to_local) — always replaying
+  /// from the start of the stream. Concatenating the per-shard streams
+  /// therefore yields a permutation of the unsharded stream (a stable
+  /// partition), and reset() on a part replays it identically.
+  ///
+  /// Open-loop sources split generically via fork(): each shard gets an
+  /// independent replay of the whole stream behind a filter, so no state
+  /// is shared between the parts and they may be consumed from different
+  /// threads. Closed-loop sources must override this with genuine
+  /// per-shard mirrors (e.g. fib::RouterSource) whose observe() accepts
+  /// shard-local outcomes; the default refuses them. An empty result
+  /// means "cannot split".
+  [[nodiscard]] virtual std::vector<std::unique_ptr<RequestSource>> split(
+      const engine::ShardPlan& plan) const;
 
   /// Single-request convenience over fill().
   [[nodiscard]] std::optional<Request> next() {
     Request r;
     return fill({&r, 1}) == 1 ? std::optional<Request>(r) : std::nullopt;
   }
+};
+
+/// Open-loop per-shard view used by the default RequestSource::split: owns
+/// an independent replay of the whole stream and keeps only the requests
+/// owned by one shard, remapped to shard-local ids. `plan` must outlive
+/// the source.
+class ShardFilterSource final : public RequestSource {
+ public:
+  ShardFilterSource(std::unique_ptr<RequestSource> inner,
+                    const engine::ShardPlan& plan, std::size_t shard);
+
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  void reset() override { inner_->reset(); }
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
+
+ private:
+  std::unique_ptr<RequestSource> inner_;
+  const engine::ShardPlan* plan_;
+  std::size_t shard_;
+  std::vector<Request> scratch_;
 };
 
 /// Adapts an in-memory request sequence (owning a Trace, or borrowing a
@@ -94,6 +148,9 @@ class TraceSource final : public RequestSource {
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
     return view_.size() - position_;
   }
+  /// An owning source copies its trace; a borrowing one borrows the same
+  /// storage (which must then outlive the fork too).
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   Trace owned_;
@@ -112,6 +169,9 @@ class FileTraceSource final : public RequestSource {
 
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override {
+    return std::make_unique<FileTraceSource>(path_, tree_size_);
+  }
 
  private:
   std::string path_;

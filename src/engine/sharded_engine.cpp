@@ -29,12 +29,112 @@ struct WorkerQueue {
   bool done = false;
 };
 
+/// A StepOutcome detached from the algorithm's scratch buffers, so it can
+/// cross the worker → producer feedback queue and be replayed into a
+/// mirror's observe() after the algorithm has moved on to later rounds.
+struct OutcomeCopy {
+  bool paid = false;
+  ChangeKind change = ChangeKind::kNone;
+  std::uint32_t aborted_fetch_size = 0;
+  std::vector<NodeId> changed;
+  std::vector<NodeId> also_evicted;
+  std::vector<NodeId> aborted_fetch;
+
+  explicit OutcomeCopy(const StepOutcome& out)
+      : paid(out.paid),
+        change(out.change),
+        aborted_fetch_size(out.aborted_fetch_size),
+        changed(out.changed.begin(), out.changed.end()),
+        also_evicted(out.also_evicted.begin(), out.also_evicted.end()),
+        aborted_fetch(out.aborted_fetch.begin(), out.aborted_fetch.end()) {}
+
+  [[nodiscard]] StepOutcome view() const {
+    return StepOutcome{.paid = paid,
+                       .change = change,
+                       .changed = changed,
+                       .also_evicted = also_evicted,
+                       .aborted_fetch = aborted_fetch,
+                       .aborted_fetch_size = aborted_fetch_size};
+  }
+};
+
+/// Per-shard outcome feedback of a closed-loop run, shared by the producer
+/// (drains into the mirrors' observe()) and the workers (push one copy per
+/// round, blocking on the per-shard bound). One mutex guards all queues:
+/// feedback traffic is chunk-grained, never the hot path.
+struct Feedback {
+  explicit Feedback(std::size_t shards, std::size_t bound)
+      : queues(shards), bound(bound) {}
+
+  std::mutex mutex;
+  std::condition_variable ready;  // producer: outcomes to drain, or abort
+  std::condition_variable space;  // workers: below the per-shard bound
+  std::vector<std::deque<OutcomeCopy>> queues;  // one FIFO per shard
+  std::size_t pending = 0;  // total queued outcomes across shards
+  std::size_t bound;
+  bool aborted = false;
+
+  /// Producer-side shutdown: discard everything and release every blocked
+  /// worker. Without the drain a worker waiting out a full queue would
+  /// never observe shutdown and the join below would deadlock.
+  void abort_and_drain() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      aborted = true;
+      for (auto& queue : queues) queue.clear();
+      pending = 0;
+    }
+    space.notify_all();
+    ready.notify_all();
+  }
+};
+
+/// Thrown out of a worker's sink when the run is being torn down; filtered
+/// by the worker loop (it is shutdown, not an error to report).
+struct AbortRun {};
+
+/// The worker-side sink of a closed-loop shard: accounts every round into
+/// the shard's RunResult (worker-local — the shard is pinned) and queues a
+/// copy of the outcome for the producer to feed the shard's mirror.
+class FeedbackSink final : public OutcomeSink {
+ public:
+  FeedbackSink(sim::RunResult& result, const OnlineAlgorithm& alg,
+               Feedback& feedback, std::size_t shard)
+      : result_(&result), alg_(&alg), feedback_(&feedback), shard_(shard) {}
+
+  void on_outcome(const Request& request,
+                  const StepOutcome& outcome) override {
+    sim::accumulate_outcome(*result_, request, outcome,
+                            alg_->cache().size());
+    OutcomeCopy copy(outcome);
+    {
+      std::unique_lock<std::mutex> lock(feedback_->mutex);
+      feedback_->space.wait(lock, [&] {
+        return feedback_->queues[shard_].size() < feedback_->bound ||
+               feedback_->aborted;
+      });
+      if (feedback_->aborted) throw AbortRun{};
+      feedback_->queues[shard_].push_back(std::move(copy));
+      ++feedback_->pending;
+    }
+    feedback_->ready.notify_one();
+  }
+
+ private:
+  sim::RunResult* result_;
+  const OnlineAlgorithm* alg_;
+  Feedback* feedback_;
+  std::size_t shard_;
+};
+
 }  // namespace
 
 ShardedEngine::ShardedEngine(const Tree& tree, const std::string& algorithm,
                              const sim::Params& params, EngineConfig config)
     : plan_(tree, config.shards), config_(config) {
   TC_CHECK(config_.batch >= 1, "engine batch size must be at least 1");
+  TC_CHECK(config_.feedback >= 1,
+           "engine feedback bound must be at least 1");
   // Single-shard plans delegate to run_source, whose batch is fixed:
   // normalize so config() never claims a geometry that was not used.
   if (plan_.num_shards() == 1) config_.batch = sim::kDriverBatchSize;
@@ -55,6 +155,16 @@ std::size_t ShardedEngine::effective_threads() const {
 
 EngineResult ShardedEngine::run(RequestSource& source) {
   const std::size_t num_shards = plan_.num_shards();
+  if (num_shards > 1 && source.is_closed_loop()) {
+    // Closed loop: split into one mirror per shard, so each shard's
+    // feedback stays local (see the header comment). The split replays
+    // the stream from the start, which is what run() means anyway.
+    const auto mirrors = source.split(plan_);
+    TC_CHECK(mirrors.size() == num_shards,
+             "closed-loop source cannot split into per-shard mirrors "
+             "(RequestSource::split); run it with a single shard");
+    return run_split(mirrors);
+  }
   for (auto& alg : algs_) alg->reset();
 
   EngineResult out;
@@ -72,10 +182,6 @@ EngineResult ShardedEngine::run(RequestSource& source) {
     out.per_shard.front().wall_seconds = 0.0;
     return out;
   }
-  // Outcomes complete out of order across shards, so observe() is never
-  // called: a closed-loop source would silently starve its mirror.
-  TC_CHECK(!source.is_closed_loop(),
-           "closed-loop sources require a single shard (see ROADMAP)");
 
   const std::size_t workers = effective_threads();
   out.threads = workers;
@@ -210,12 +316,21 @@ EngineResult ShardedEngine::run(RequestSource& source) {
     if (error) std::rethrow_exception(error);
   }
 
-  // Finalize each shard, then aggregate in shard order (a fixed order, so
-  // the totals are reproducible bit for bit).
-  for (std::size_t s = 0; s < num_shards; ++s) {
+  finalize(out);
+  out.total.wall_seconds = timer.seconds();
+  return out;
+}
+
+void ShardedEngine::finalize(EngineResult& out) const {
+  // Finalize each shard from its instance, then aggregate in shard order
+  // (a fixed order, so the totals are reproducible bit for bit).
+  for (std::size_t s = 0; s < plan_.num_shards(); ++s) {
     sim::RunResult& r = out.per_shard[s];
     r.cost = algs_[s]->cost();
     r.final_cache_size = algs_[s]->cache().size();
+    // Per-shard results uniformly carry no wall time; only the aggregate
+    // does (some paths, e.g. run_source per shard, measure one).
+    r.wall_seconds = 0.0;
     out.total.cost += r.cost;
     out.total.rounds += r.rounds;
     out.total.paid_requests += r.paid_requests;
@@ -229,8 +344,183 @@ EngineResult ShardedEngine::run(RequestSource& source) {
         std::max(out.total.max_cache_size, r.max_cache_size);
     out.total.final_cache_size += r.final_cache_size;
   }
+}
+
+EngineResult ShardedEngine::run_split(
+    std::span<const std::unique_ptr<RequestSource>> mirrors) {
+  const std::size_t num_shards = plan_.num_shards();
+  TC_CHECK(mirrors.size() == num_shards,
+           "run_split needs exactly one source per shard");
+  for (const auto& mirror : mirrors) {
+    TC_CHECK(mirror != nullptr, "run_split was handed a null source");
+  }
+  for (auto& alg : algs_) alg->reset();
+
+  EngineResult out;
+  out.shards = num_shards;
+  out.per_shard.resize(num_shards);
+  const Stopwatch timer;
+  const std::size_t workers = num_shards == 1 ? 1 : effective_threads();
+  out.threads = workers;
+
+  if (workers <= 1) {
+    // Sequential reference shape: each shard's loop is the exact
+    // fill → step → observe alternation of sim::run_source, one shard
+    // after the other (shards share no state, so the order is free).
+    std::vector<Request> buffer(config_.batch);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      sim::AccountingSink sink(out.per_shard[s], *algs_[s],
+                               mirrors[s].get());
+      for (;;) {
+        const std::size_t n =
+            mirrors[s]->fill({buffer.data(), buffer.size()});
+        if (n == 0) break;
+        algs_[s]->step_batch({buffer.data(), n}, sink);
+      }
+    }
+  } else {
+    run_split_threaded(mirrors, out, workers);
+  }
+  finalize(out);
   out.total.wall_seconds = timer.seconds();
   return out;
+}
+
+void ShardedEngine::run_split_threaded(
+    std::span<const std::unique_ptr<RequestSource>> mirrors,
+    EngineResult& out, std::size_t workers) {
+  const std::size_t num_shards = plan_.num_shards();
+  // Worker chunk queues carry at most one in-flight chunk per pinned shard
+  // (the producer refills a mirror only after draining its feedback), so
+  // unlike the open-loop demux they need no capacity bound — and must not
+  // have one: a producer blocked on chunk space could never drain the
+  // feedback a blocked worker is waiting on.
+  std::vector<WorkerQueue> queues(workers);
+  Feedback feedback(num_shards, config_.feedback);
+  std::exception_ptr worker_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      WorkerQueue& queue = queues[w];
+      for (;;) {
+        std::pair<std::size_t, std::vector<Request>> item;
+        {
+          std::unique_lock<std::mutex> lock(queue.mutex);
+          queue.ready.wait(lock, [&] {
+            return !queue.chunks.empty() || queue.done;
+          });
+          if (queue.chunks.empty()) return;  // done and drained
+          item = std::move(queue.chunks.front());
+          queue.chunks.pop_front();
+        }
+        const std::size_t s = item.first;
+        FeedbackSink sink(out.per_shard[s], *algs_[s], feedback, s);
+        try {
+          algs_[s]->step_batch(item.second, sink);
+        } catch (const AbortRun&) {
+          return;  // torn down mid-chunk: shutdown, not an error
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!worker_error) worker_error = std::current_exception();
+          }
+          // Wake the producer (waiting on feedback.ready) and any peers
+          // blocked on a full outcome queue.
+          feedback.abort_and_drain();
+          return;
+        }
+      }
+    });
+  }
+
+  // Producer: fill every mirror whose previous chunk has fully fed back,
+  // dispatch to the shard's pinned worker, then drain outcome queues into
+  // the mirrors' observe() — per-shard FIFO order — which readies the next
+  // fill. Closed-loop strict alternation per shard, pipelined across
+  // shards.
+  enum class MirrorState : std::uint8_t { kReady, kInFlight, kDone };
+  std::vector<MirrorState> state(num_shards, MirrorState::kReady);
+  std::vector<std::size_t> expected(num_shards, 0);  // outcomes to drain
+  std::size_t active = num_shards;
+  std::size_t in_flight = 0;
+  std::vector<Request> chunk(config_.batch);
+  std::vector<std::deque<OutcomeCopy>> drained(num_shards);
+  std::exception_ptr producer_error;
+  try {
+    while (active > 0) {
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (state[s] != MirrorState::kReady) continue;
+        const std::size_t n = mirrors[s]->fill({chunk.data(), chunk.size()});
+        if (n == 0) {
+          state[s] = MirrorState::kDone;
+          --active;
+          continue;
+        }
+        WorkerQueue& queue = queues[s % workers];
+        {
+          const std::lock_guard<std::mutex> lock(queue.mutex);
+          queue.chunks.emplace_back(
+              s, std::vector<Request>(chunk.begin(),
+                                      chunk.begin() +
+                                          static_cast<std::ptrdiff_t>(n)));
+        }
+        queue.ready.notify_one();
+        expected[s] = n;
+        state[s] = MirrorState::kInFlight;
+        ++in_flight;
+      }
+      // Every active shard is now in flight (fills above leave a shard
+      // either dispatched or done), so in_flight == 0 implies active == 0.
+      if (in_flight == 0) break;
+      {
+        std::unique_lock<std::mutex> lock(feedback.mutex);
+        feedback.ready.wait(lock, [&] {
+          return feedback.pending > 0 || feedback.aborted;
+        });
+        if (feedback.aborted) break;  // a worker failed; rethrown below
+        for (std::size_t s = 0; s < num_shards; ++s) {
+          if (feedback.queues[s].empty()) continue;
+          drained[s] = std::move(feedback.queues[s]);
+          feedback.queues[s].clear();
+        }
+        feedback.pending = 0;
+      }
+      feedback.space.notify_all();
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (drained[s].empty()) continue;
+        for (const OutcomeCopy& copy : drained[s]) {
+          mirrors[s]->observe(copy.view());
+        }
+        expected[s] -= drained[s].size();
+        drained[s].clear();
+        if (expected[s] == 0 && state[s] == MirrorState::kInFlight) {
+          state[s] = MirrorState::kReady;
+          --in_flight;
+        }
+      }
+    }
+  } catch (...) {
+    producer_error = std::current_exception();
+  }
+  // Shutdown. Drain the per-shard outcome queues and flip the abort flag
+  // BEFORE joining: a worker waiting out a full queue never checks the
+  // chunk queue's `done`, so joining without the drain deadlocks when the
+  // producer bailed mid-run (fill() threw, a worker failed, ...). Tested
+  // by the fault-injection case in tests/test_engine_closed_loop.cpp.
+  feedback.abort_and_drain();
+  for (auto& queue : queues) {
+    {
+      const std::lock_guard<std::mutex> lock(queue.mutex);
+      queue.done = true;
+    }
+    queue.ready.notify_one();
+  }
+  for (auto& worker : pool) worker.join();
+  if (producer_error) std::rethrow_exception(producer_error);
+  if (worker_error) std::rethrow_exception(worker_error);
 }
 
 }  // namespace treecache::engine

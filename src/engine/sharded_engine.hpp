@@ -18,12 +18,24 @@
 //
 // Closed loops: with one shard the engine delegates to sim::run_source,
 // which feeds outcomes back to the source, so closed-loop sources (the FIB
-// router) run unchanged. With multiple shards the stream must be open-loop
-// — outcomes complete out of order across shards, so observe() is never
-// called (cross-shard closed-loop handling is a ROADMAP open item).
+// router) run unchanged. With multiple shards a closed-loop source is
+// split into per-shard mirrors (RequestSource::split) and run through a
+// per-shard outcome feedback loop: the producer thread fills each mirror
+// and dispatches the chunk to the shard's pinned worker; the worker steps
+// it and pushes a copy of every outcome into the shard's bounded outcome
+// queue; the producer drains the queue into the mirror's observe() — in
+// per-shard order — before filling that mirror again. Feedback never
+// crosses shards, outcomes may complete out of order globally, and each
+// shard's closed loop is exactly the sequential fill → step → observe
+// alternation, so per-shard results are bit-identical for every thread
+// count and equal to independent per-shard sequential runs (the
+// differential suite in tests/test_engine_closed_loop.cpp enforces this
+// for every registered algorithm). A closed-loop source whose split()
+// returns empty is refused with more than one shard.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +58,10 @@ struct EngineConfig {
   /// kDriverBatchSize — the constructor normalizes this field accordingly,
   /// so config() reports the geometry actually used.
   std::size_t batch = sim::kDriverBatchSize;
+  /// Closed-loop runs only: bound on copied outcomes buffered per shard
+  /// between a worker and the producer's observe() drain. Small values
+  /// backpressure workers instead of growing memory; must be >= 1.
+  std::size_t feedback = 1024;
 };
 
 struct EngineResult {
@@ -68,8 +84,19 @@ class ShardedEngine {
                 const sim::Params& params, EngineConfig config);
 
   /// Resets every instance and runs `source` to exhaustion. See the header
-  /// comment for the determinism and closed-loop contracts.
+  /// comment for the determinism and closed-loop contracts. A multi-shard
+  /// closed-loop source is split() into mirrors and routed through
+  /// run_split; it must be shardable or the run is refused.
   [[nodiscard]] EngineResult run(RequestSource& source);
+
+  /// Resets every instance and runs one pre-split per-shard source per
+  /// shard (mirrors[s] feeds shard s's instance, already in shard-local
+  /// ids). Callers that need mirror-side state afterwards — e.g. per-shard
+  /// router statistics — split themselves and keep the mirrors; run() is
+  /// sugar over this for everyone else. Mirrors must be fresh (or reset)
+  /// and are run to exhaustion.
+  [[nodiscard]] EngineResult run_split(
+      std::span<const std::unique_ptr<RequestSource>> mirrors);
 
   [[nodiscard]] const ShardPlan& plan() const { return plan_; }
   /// The configuration as normalized by the constructor (see
@@ -81,6 +108,12 @@ class ShardedEngine {
 
  private:
   [[nodiscard]] std::size_t effective_threads() const;
+  /// Sums per-shard results (already finalized from the instances) into
+  /// out.total, in shard order — fixed order, bit-reproducible totals.
+  void finalize(EngineResult& out) const;
+  void run_split_threaded(
+      std::span<const std::unique_ptr<RequestSource>> mirrors,
+      EngineResult& out, std::size_t workers);
 
   ShardPlan plan_;
   EngineConfig config_;

@@ -48,6 +48,21 @@ struct RouterSimResult {
   std::uint64_t forwarding_errors = 0;
   Cost algorithm_cost;
 
+  /// Aggregates per-shard slices of one event stream (the engine's mirror
+  /// split): every counter and the cost, field by field — so a new counter
+  /// added here is summed everywhere, not silently dropped from sharded
+  /// aggregates.
+  RouterSimResult& operator+=(const RouterSimResult& other) {
+    packets += other.packets;
+    hits += other.hits;
+    misses += other.misses;
+    updates += other.updates;
+    cached_updates += other.cached_updates;
+    forwarding_errors += other.forwarding_errors;
+    algorithm_cost += other.algorithm_cost;
+    return *this;
+  }
+
   [[nodiscard]] double hit_rate() const {
     return packets == 0 ? 0.0
                         : static_cast<double>(hits) /

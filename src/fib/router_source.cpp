@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/online_algorithm.hpp"
+#include "engine/shard_plan.hpp"
 
 namespace treecache::fib {
 
@@ -10,83 +11,139 @@ RouterSource::RouterSource(const RuleTree& rules,
                            const RouterSimConfig& config)
     : rules_(&rules),
       config_(config),
+      trivial_plan_(rules.tree, 1),
+      whole_(rules, config, trivial_plan_, 0) {}
+
+std::size_t RouterSource::fill(std::span<Request> buffer) {
+  return whole_.fill(buffer);
+}
+
+void RouterSource::reset() { whole_.reset(); }
+
+void RouterSource::observe(const StepOutcome& outcome) {
+  whole_.observe(outcome);
+}
+
+std::vector<std::unique_ptr<RequestSource>> RouterSource::split(
+    const engine::ShardPlan& plan) const {
+  TC_CHECK(&plan.universe() == &rules_->tree,
+           "the shard plan was built over a different tree than this "
+           "router's rule tree");
+  std::vector<std::unique_ptr<RequestSource>> out;
+  out.reserve(plan.num_shards());
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    out.push_back(
+        std::make_unique<RouterMirrorSource>(*rules_, config_, plan, s));
+  }
+  return out;
+}
+
+// --- RouterMirrorSource ---------------------------------------------------
+
+RouterMirrorSource::RouterMirrorSource(const RuleTree& rules,
+                                       const RouterSimConfig& config,
+                                       const engine::ShardPlan& plan,
+                                       std::size_t shard)
+    : rules_(&rules),
+      config_(config),
+      plan_(&plan),
+      shard_(shard),
+      // Identical construction order to RouterSource: the sampler's
+      // permutation draw consumes the same seed state, so every mirror —
+      // and the unsharded source — ranks rules identically.
       rng_(config.seed),
       sampler_(rules, config.zipf_skew, rng_),
       start_rng_(rng_),
-      cached_(rules.tree.size(), 0) {
-  // Only packet events advance stats_.packets, so an update probability of
-  // 1 (or more) would never terminate the event loop.
+      cached_(plan.shard_tree(shard).size(), 0) {
+  TC_CHECK(shard_ < plan.num_shards(), "shard index outside the plan");
   TC_CHECK(config_.update_probability >= 0.0 &&
                config_.update_probability < 1.0,
            "update probability must lie in [0, 1) so packet events can "
            "finish the run");
 }
 
-std::size_t RouterSource::fill(std::span<Request> buffer) {
+bool RouterMirrorSource::owns(NodeId v) const {
+  return plan_->shard_of(v) == shard_;
+}
+
+bool RouterMirrorSource::cached_rule(NodeId v) const {
+  if (owns(v)) return cached_[plan_->to_local(v)] != 0;
+  // An address's trie walk only visits ancestors of its full-table match:
+  // rules of the owning shard, plus the default rule. The latter reads as
+  // this shard's replica root (local node 0), never as foreign state.
+  return v == rules_->tree.root() && cached_[0] != 0;
+}
+
+std::size_t RouterMirrorSource::fill(std::span<Request> buffer) {
   std::size_t n = 0;
   // A pending update chunk is predetermined: drain it (or as much as fits)
-  // and return, so its outcomes are observed before the next event reads
-  // the cache mirror.
+  // and return, so its outcomes are observed before the next owned event
+  // reads the cache mirror.
   while (pending_ > 0 && n < buffer.size()) {
     --pending_;
-    buffer[n++] = negative(pending_node_);
+    buffer[n++] = negative(pending_local_);
   }
   if (n > 0) return n;
 
-  while (stats_.packets < config_.packets) {
+  // Replay the global event stream. `packets_seen_` counts every packet
+  // event — the termination condition is global, so all mirrors stop after
+  // the same event — while stats_ counts only the events this shard owns.
+  while (packets_seen_ < config_.packets) {
     if (rng_.chance(config_.update_probability)) {
-      // A BGP-style update to a Zipf-popular rule. The controller updates
-      // its full table for free; a cached copy on the switch costs α,
-      // modelled as α negative requests (Appendix B).
       const NodeId rule = sampler_.sample_rule(rng_);
+      if (!owns(rule)) continue;  // another line card's update
       ++stats_.updates;
-      if (cached(rule)) ++stats_.cached_updates;
-      pending_node_ = rule;
+      if (cached_rule(rule)) ++stats_.cached_updates;
+      pending_local_ = plan_->to_local(rule);
       pending_ = config_.alpha;
       while (pending_ > 0 && n < buffer.size()) {
         --pending_;
-        buffer[n++] = negative(pending_node_);
+        buffer[n++] = negative(pending_local_);
       }
       return n;
     }
 
     const Address addr = sampler_.sample_address(rng_);
     const NodeId full_match = rules_->lpm(addr);
-    // The switch looks up the packet over its cached rules only.
-    const auto cached_match = rules_->trie.lookup_if(
-        addr, [&](RuleId rule) { return cached(rule); });
+    ++packets_seen_;
+    // Packets whose full-table match is the default rule belong to shard 0
+    // (the plan routes the root there), like every other match.
+    if (!owns(full_match)) continue;
     ++stats_.packets;
+    // The switch looks up the packet over this card's cached rules only.
+    const auto cached_match = rules_->trie.lookup_if(
+        addr, [&](RuleId rule) { return cached_rule(rule); });
 
+    if (cached_match.has_value() && *cached_match == full_match) {
+      ++stats_.hits;
+      continue;
+    }
     if (cached_match.has_value()) {
-      if (*cached_match == full_match) {
-        // Forwarding is correct; the algorithm never sees the packet.
-        ++stats_.hits;
-        continue;
-      }
-      // Mis-forwarded. The controller detects the stray flow and detours
-      // it, so the online algorithm sees (and is charged for) the same
-      // positive request a miss would have produced.
+      // Mis-forwarded by a cached, less specific rule: controller detour,
+      // charged like a miss.
       ++stats_.forwarding_errors;
     } else {
-      // Only the artificial default rule matched: detour via controller.
       ++stats_.misses;
     }
-    buffer[n++] = positive(full_match);
+    buffer[n++] = positive(plan_->to_local(full_match));
     // Stop here: the fetch this request may trigger changes the mirror
-    // the next packet lookup depends on.
+    // the next owned packet lookup depends on.
     return n;
   }
   return 0;
 }
 
-void RouterSource::reset() {
+void RouterMirrorSource::reset() {
   rng_ = start_rng_;
   std::ranges::fill(cached_, 0);
   stats_ = {};
+  packets_seen_ = 0;
   pending_ = 0;
 }
 
-void RouterSource::observe(const StepOutcome& outcome) {
+void RouterMirrorSource::observe(const StepOutcome& outcome) {
+  // Outcomes arrive in shard-LOCAL ids, straight from this shard's
+  // algorithm instance.
   for (const NodeId v : outcome.also_evicted) cached_[v] = 0;
   switch (outcome.change) {
     case ChangeKind::kNone:
@@ -98,7 +155,6 @@ void RouterSource::observe(const StepOutcome& outcome) {
       for (const NodeId v : outcome.changed) cached_[v] = 0;
       break;
     case ChangeKind::kPhaseRestart:
-      // The cache was emptied wholesale.
       std::ranges::fill(cached_, 0);
       break;
   }

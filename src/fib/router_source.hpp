@@ -13,17 +13,86 @@
 // Closed-loop batching contract: a pending α-chunk is predetermined and may
 // be batched, but after emitting a packet request fill() returns — the next
 // event reads the mirror, which the not-yet-observed outcome may change.
+//
+// Sharding (the mirror split): split() turns the source into one
+// RouterMirrorSource per shard of an engine::ShardPlan. Every mirror
+// replays the SAME global event stream — event types, sampled rules and
+// addresses are pure RNG, independent of any cache state, so all mirrors
+// stay in lockstep by construction — but a mirror only *acts on* the
+// events whose full-table match lands in its shard (the plan partitions
+// the rule tree by top-level prefix, and every rule an address's trie walk
+// can touch is an ancestor of its LPM match: same top-level prefix, plus
+// the default rule, whose per-shard replica each line card mirrors
+// locally). Owned events consult only the shard's own cache mirror, so
+// feedback never crosses shards: each mirror needs exactly its shard's
+// outcomes, in per-shard order, while outcomes may complete out of order
+// globally. Requests are emitted in shard-LOCAL node ids and observe()
+// expects shard-local outcomes — a mirror plugs straight into the shard's
+// algorithm instance with no translation in the engine.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/request_source.hpp"
+#include "engine/shard_plan.hpp"
 #include "fib/router_sim.hpp"
 #include "fib/traffic.hpp"
 
 namespace treecache::fib {
 
+/// One shard's slice of the closed loop: replays the global event stream
+/// in RNG lockstep with every other mirror, emits only the requests owned
+/// by its shard (in shard-local ids), and keeps one cache mirror for the
+/// shard's algorithm instance, fed by observe() with that instance's
+/// outcomes in per-shard order. RouterSource below IS the trivial
+/// single-shard mirror behind the classic interface, so the two can never
+/// drift apart. `rules` and `plan` must outlive the source.
+class RouterMirrorSource final : public RequestSource {
+ public:
+  RouterMirrorSource(const RuleTree& rules, const RouterSimConfig& config,
+                     const engine::ShardPlan& plan, std::size_t shard);
+
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  void reset() override;
+  void observe(const StepOutcome& outcome) override;
+  [[nodiscard]] bool is_closed_loop() const override { return true; }
+
+  /// Statistics of the events this shard owns. Summing over all mirrors
+  /// of a plan reconstructs the full event stream: every packet and every
+  /// update is owned by exactly one shard.
+  [[nodiscard]] const RouterSimResult& stats() const { return stats_; }
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+
+ private:
+  /// Is global rule `v` owned by this shard?
+  [[nodiscard]] bool owns(NodeId v) const;
+  /// Cache-mirror lookup by GLOBAL rule id, as the trie walk sees rules.
+  /// Foreign rules read as uncached except the default rule, which reads
+  /// this shard's replica (local node 0) — the line card's own copy.
+  [[nodiscard]] bool cached_rule(NodeId v) const;
+
+  const RuleTree* rules_;
+  RouterSimConfig config_;
+  const engine::ShardPlan* plan_;
+  std::size_t shard_;
+  Rng rng_;        // seeded, then consumed by the sampler's setup
+  PacketSampler sampler_;
+  Rng start_rng_;  // rng_ state AFTER the sampler's permutation draw
+  std::vector<std::uint8_t> cached_;  // by LOCAL id, incl. replica root
+  RouterSimResult stats_;             // owned events only
+  std::uint64_t packets_seen_ = 0;    // GLOBAL packet count (termination)
+  NodeId pending_local_ = 0;
+  std::uint64_t pending_ = 0;  // negatives left in the current α-chunk
+};
+
+/// The unsharded event loop: a thin wrapper over a RouterMirrorSource on
+/// the trivial one-shard plan, so there is exactly ONE implementation of
+/// the event stream — a mirror cannot drift out of RNG lockstep with the
+/// "whole" source, because they are the same code. Equality with the
+/// self-contained reference loop (fib/router_sim.hpp) is enforced by
+/// tests, and transitively pins every shard mirror.
 class RouterSource final : public RequestSource {
  public:
   /// `rules` must outlive the source. The algorithm driven against this
@@ -31,27 +100,37 @@ class RouterSource final : public RequestSource {
   /// on the same rule tree.
   RouterSource(const RuleTree& rules, const RouterSimConfig& config);
 
+  // The internal mirror points at the member plan: default copy/move
+  // would dangle it.
+  RouterSource(const RouterSource&) = delete;
+  RouterSource& operator=(const RouterSource&) = delete;
+
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
   void observe(const StepOutcome& outcome) override;
   [[nodiscard]] bool is_closed_loop() const override { return true; }
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override {
+    return std::make_unique<RouterSource>(*rules_, config_);
+  }
+
+  /// One RouterMirrorSource per shard (see the header comment). `plan`
+  /// must be built over this source's rule tree and outlive the mirrors;
+  /// every element is a RouterMirrorSource, so callers that need per-shard
+  /// router statistics may downcast.
+  [[nodiscard]] std::vector<std::unique_ptr<RequestSource>> split(
+      const engine::ShardPlan& plan) const override;
 
   /// Event-loop statistics accumulated so far. `algorithm_cost` is left
   /// zero — the caller owns the algorithm and its cost.
-  [[nodiscard]] const RouterSimResult& stats() const { return stats_; }
+  [[nodiscard]] const RouterSimResult& stats() const {
+    return whole_.stats();
+  }
 
  private:
-  [[nodiscard]] bool cached(NodeId v) const { return cached_[v] != 0; }
-
   const RuleTree* rules_;
   RouterSimConfig config_;
-  Rng rng_;               // seeded, then consumed by the sampler's setup
-  PacketSampler sampler_;
-  Rng start_rng_;         // rng_ state AFTER the sampler's permutation draw
-  std::vector<std::uint8_t> cached_;  // mirror of the algorithm's cache
-  RouterSimResult stats_;
-  NodeId pending_node_ = 0;
-  std::uint64_t pending_ = 0;  // negatives left in the current α-chunk
+  engine::ShardPlan trivial_plan_;  // one shard = the whole rule tree
+  RouterMirrorSource whole_;        // initialized after the plan it views
 };
 
 }  // namespace treecache::fib

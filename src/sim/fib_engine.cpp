@@ -21,18 +21,36 @@ fib::RouterSimConfig fib_router_config(const Params& params,
 
 FibScenarioResult run_fib_scenario(const fib::RuleTree& rules,
                                    const FibScenario& scenario) {
-  // The closed-loop router is just another RequestSource, driven through
-  // the execution engine's single-shard path (which delegates to
-  // run_source, so outcomes still feed back after every round). Sharded
-  // FIB throughput uses the open-loop fib* workloads via
-  // `treecache throughput --tree fib`; cross-shard closed loops are a
-  // ROADMAP open item.
-  engine::ShardedEngine eng(rules.tree, scenario.algorithm, scenario.params,
-                            {.shards = 1, .threads = 1});
+  // The closed-loop router is just another RequestSource. With one shard
+  // the engine delegates to run_source (outcomes feed back after every
+  // round); with more, the source splits into per-shard mirrors and the
+  // engine runs them through the outcome-feedback queues — we split here
+  // rather than inside run() so the mirrors' router statistics survive
+  // the run and can be aggregated into the result.
+  engine::ShardedEngine eng(
+      rules.tree, scenario.algorithm, scenario.params,
+      {.shards = scenario.shards, .threads = scenario.threads});
   fib::RouterSource source(rules,
                            fib_router_config(scenario.params, scenario.seed));
-  const engine::EngineResult result = eng.run(source);
-  FibScenarioResult out{.scenario = scenario, .router = source.stats()};
+  FibScenarioResult out{.scenario = scenario, .router = {}};
+  out.shards = eng.plan().num_shards();
+  if (out.shards == 1) {
+    const engine::EngineResult result = eng.run(source);
+    out.router = source.stats();
+    out.router.algorithm_cost = result.total.cost;
+    out.threads = result.threads;
+    return out;
+  }
+  const auto mirrors = source.split(eng.plan());
+  const engine::EngineResult result = eng.run_split(mirrors);
+  out.threads = result.threads;
+  for (const auto& part : mirrors) {
+    const auto* mirror =
+        dynamic_cast<const fib::RouterMirrorSource*>(part.get());
+    TC_CHECK(mirror != nullptr,
+             "RouterSource::split must yield router mirrors");
+    out.router += mirror->stats();
+  }
   out.router.algorithm_cost = result.total.cost;
   return out;
 }
@@ -44,7 +62,9 @@ FibScenarioResult run_fib_scenario(const FibScenario& scenario) {
 std::vector<FibScenarioResult> run_fib_sweep(const fib::RuleTree& rules,
                                              const FibSweepAxes& axes,
                                              const Params& base,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             std::size_t shards,
+                                             std::size_t threads) {
   TC_CHECK(!axes.algorithms.empty() && !axes.skews.empty() &&
                !axes.capacities.empty() && !axes.alphas.empty(),
            "every sweep axis needs at least one value");
@@ -61,23 +81,38 @@ std::vector<FibScenarioResult> run_fib_sweep(const fib::RuleTree& rules,
   for (auto& s : point_seeds) s = seeder();
 
   const std::size_t cells = axes.algorithms.size() * points;
-  return parallel_sweep<FibScenarioResult>(
-      cells, seed, [&](std::size_t i, Rng&) {
-        const std::size_t point = i % points;
-        const std::size_t alpha_i = point % axes.alphas.size();
-        const std::size_t capacity_i =
-            (point / axes.alphas.size()) % axes.capacities.size();
-        const std::size_t skew_i =
-            point / (axes.alphas.size() * axes.capacities.size());
-        FibScenario cell{.algorithm = axes.algorithms[i / points],
-                         .params = base,
-                         .seed = point_seeds[point]};
-        cell.params.set("skew", util::format_double(axes.skews[skew_i]));
-        cell.params.set("capacity",
-                        std::to_string(axes.capacities[capacity_i]));
-        cell.params.set("alpha", std::to_string(axes.alphas[alpha_i]));
-        return run_fib_scenario(rules, cell);
-      });
+  const auto run_cell = [&](std::size_t i, Rng&) {
+    const std::size_t point = i % points;
+    const std::size_t alpha_i = point % axes.alphas.size();
+    const std::size_t capacity_i =
+        (point / axes.alphas.size()) % axes.capacities.size();
+    const std::size_t skew_i =
+        point / (axes.alphas.size() * axes.capacities.size());
+    FibScenario cell{.algorithm = axes.algorithms[i / points],
+                     .params = base,
+                     .seed = point_seeds[point],
+                     .shards = shards,
+                     .threads = threads};
+    cell.params.set("skew", util::format_double(axes.skews[skew_i]));
+    cell.params.set("capacity",
+                    std::to_string(axes.capacities[capacity_i]));
+    cell.params.set("alpha", std::to_string(axes.alphas[alpha_i]));
+    return run_fib_scenario(rules, cell);
+  };
+  // One level of parallelism at a time: a multi-worker sharded cell
+  // already owns the cores (engine workers + its sweep thread blocked as
+  // producer), so sweeping such cells in parallel would run up to
+  // ncores × (threads + 1) live threads. Cells are order-independent
+  // (pre-derived per-point seeds), so running them in sequence changes
+  // nothing but the thread count.
+  if (shards > 1 && threads != 1) {
+    std::vector<FibScenarioResult> out;
+    out.reserve(cells);
+    Rng unused(seed);
+    for (std::size_t i = 0; i < cells; ++i) out.push_back(run_cell(i, unused));
+    return out;
+  }
+  return parallel_sweep<FibScenarioResult>(cells, seed, run_cell);
 }
 
 }  // namespace treecache::sim

@@ -27,11 +27,24 @@ struct FibScenario {
   std::string algorithm;   // AlgorithmRegistry key
   Params params;           // RIB + traffic + algorithm knobs, one bag
   std::uint64_t seed = 1;  // traffic seed ("rib-seed" seeds the table)
+  /// Engine geometry (not part of the scenario semantics — the line-card
+  /// model: each shard runs its own instance with the full capacity over
+  /// its top-level-prefix slice, fed by a per-shard router mirror). With
+  /// shards > 1 the closed loop runs through ShardedEngine::run_split;
+  /// results are bit-identical for every `threads` value.
+  std::size_t shards = 1;
+  std::size_t threads = 1;
 };
 
 struct FibScenarioResult {
   FibScenario scenario;
+  /// With shards > 1: the sum of the per-shard mirror statistics. Every
+  /// packet and update event is owned by exactly one shard, so packets and
+  /// updates always add up to the unsharded event stream; hits/misses are
+  /// per the line-card model.
   fib::RouterSimResult router;
+  std::size_t shards = 1;   // planned (may be fewer than requested)
+  std::size_t threads = 1;  // workers actually used
 };
 
 /// Router configuration from the shared parameter keys: packets (default
@@ -60,9 +73,11 @@ struct FibSweepAxes {
 
 /// Cross product over `base` params, in parallel. All algorithms at one
 /// (skew, capacity, alpha) point share a traffic seed, so the sweep
-/// compares algorithms on identical packet streams.
+/// compares algorithms on identical packet streams. `shards`/`threads`
+/// set the engine geometry of every cell (CLI: `treecache fib --shards S
+/// --threads T`).
 [[nodiscard]] std::vector<FibScenarioResult> run_fib_sweep(
     const fib::RuleTree& rules, const FibSweepAxes& axes, const Params& base,
-    std::uint64_t seed);
+    std::uint64_t seed, std::size_t shards = 1, std::size_t threads = 1);
 
 }  // namespace treecache::sim

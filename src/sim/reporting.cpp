@@ -96,6 +96,15 @@ util::Json to_json(const FibScenarioResult& result) {
       .set("algorithm", result.scenario.algorithm)
       .set("seed", result.scenario.seed)
       .set("params", params_json(result.scenario.params))
+      // Geometry of the closed-loop run (fib/2): planned shard count and
+      // the workers actually used. Results are thread-count invariant;
+      // shards > 1 reports the line-card model's aggregate.
+      .set("engine",
+           util::Json::object()
+               .set("shards_requested",
+                    std::uint64_t{result.scenario.shards})
+               .set("shards", std::uint64_t{result.shards})
+               .set("threads", std::uint64_t{result.threads}))
       .set("result", util::Json::object()
                          .set("packets", r.packets)
                          .set("hits", r.hits)
@@ -113,7 +122,7 @@ util::Json fib_sweep_json(const std::vector<FibScenarioResult>& cells) {
   util::Json rows = util::Json::array();
   for (const FibScenarioResult& cell : cells) rows.push(to_json(cell));
   return util::Json::object()
-      .set("schema", "treecache.fib/1")
+      .set("schema", "treecache.fib/2")
       .set("cells", std::move(rows));
 }
 

@@ -9,7 +9,9 @@
 //                      (v2: result gained wall_seconds/requests_per_second,
 //                      so every --json run doubles as a perf sample)
 //   treecache.grid/1   algorithm × workload grid    {schema, cells: [...]}
-//   treecache.fib/1    closed-loop FIB sweep        {schema, cells: [...]}
+//   treecache.fib/2    closed-loop FIB sweep        {schema, cells: [...]}
+//                      (v2: every cell carries an "engine" object — the
+//                      closed loop now shards by top-level prefix)
 //   treecache.throughput/1   sharded-engine run
 //                      {schema, scenario, engine, result, per_shard: [...]}
 //   treecache.bench/1  bench table   {schema, experiment, title, rows: [...]}
@@ -56,10 +58,12 @@ void print_note(std::string_view label, std::string_view value);
 /// Full grid document over run_grid cells (schema treecache.grid/1).
 [[nodiscard]] util::Json grid_json(const std::vector<ScenarioResult>& cells);
 
-/// One closed-loop FIB cell: {algorithm, seed, params, result}.
+/// One closed-loop FIB cell: {algorithm, seed, params, engine, result} —
+/// "engine" (fib/2) is {shards_requested, shards, threads}, the closed
+/// loop's sharding geometry (results are thread-count invariant).
 [[nodiscard]] util::Json to_json(const FibScenarioResult& result);
 
-/// Full FIB sweep document (schema treecache.fib/1).
+/// Full FIB sweep document (schema treecache.fib/2).
 [[nodiscard]] util::Json fib_sweep_json(
     const std::vector<FibScenarioResult>& cells);
 

@@ -9,6 +9,23 @@
 
 namespace treecache::workload {
 
+namespace {
+
+/// fork() for a part list: every part must fork or the composite cannot.
+std::vector<std::unique_ptr<RequestSource>> fork_parts(
+    const std::vector<std::unique_ptr<RequestSource>>& parts) {
+  std::vector<std::unique_ptr<RequestSource>> out;
+  out.reserve(parts.size());
+  for (const auto& part : parts) {
+    auto copy = part->fork();
+    if (copy == nullptr) return {};
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace
+
 ConcatSource::ConcatSource(
     std::vector<std::unique_ptr<RequestSource>> parts)
     : parts_(std::move(parts)) {
@@ -22,6 +39,12 @@ std::size_t ConcatSource::fill(std::span<Request> buffer) {
     ++active_;
   }
   return 0;
+}
+
+std::unique_ptr<RequestSource> ConcatSource::fork() const {
+  auto parts = fork_parts(parts_);
+  if (parts.empty()) return nullptr;
+  return std::make_unique<ConcatSource>(std::move(parts));
 }
 
 void ConcatSource::reset() {
@@ -86,6 +109,12 @@ std::size_t MixSource::fill(std::span<Request> buffer) {
   return n;
 }
 
+std::unique_ptr<RequestSource> MixSource::fork() const {
+  auto parts = fork_parts(parts_);
+  if (parts.empty()) return nullptr;
+  return std::make_unique<MixSource>(std::move(parts), weights_, start_rng_);
+}
+
 void MixSource::reset() {
   for (const auto& part : parts_) part->reset();
   std::ranges::fill(exhausted_, 0);
@@ -136,6 +165,13 @@ std::size_t ChurnInjectSource::fill(std::span<Request> buffer) {
     pending_ = alpha_;
   }
   return got;
+}
+
+std::unique_ptr<RequestSource> ChurnInjectSource::fork() const {
+  auto inner = inner_->fork();
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<ChurnInjectSource>(std::move(inner), *tree_,
+                                             period_, alpha_, start_rng_);
 }
 
 void ChurnInjectSource::reset() {

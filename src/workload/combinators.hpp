@@ -45,6 +45,8 @@ class ConcatSource final : public RequestSource {
   void reset() override;
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override;
   void observe(const StepOutcome& outcome) override;
+  /// Forks every part; nullptr if any part cannot fork.
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   std::vector<std::unique_ptr<RequestSource>> parts_;
@@ -62,6 +64,8 @@ class MixSource final : public RequestSource {
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override;
+  /// Forks every part; nullptr if any part cannot fork.
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   std::vector<std::unique_ptr<RequestSource>> parts_;
@@ -84,6 +88,8 @@ class ChurnInjectSource final : public RequestSource {
   void reset() override;
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override;
   void observe(const StepOutcome& outcome) override;
+  /// Forks the inner source; nullptr if it cannot fork.
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   std::unique_ptr<RequestSource> inner_;

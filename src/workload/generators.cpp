@@ -46,6 +46,14 @@ std::size_t UniformSource::fill(std::span<Request> buffer) {
   return n;
 }
 
+std::unique_ptr<RequestSource> UniformSource::fork() const {
+  // Copy, then rewind: the copy's reset() restores the captured start RNG,
+  // so the fork replays the identical stream from round one.
+  auto copy = std::make_unique<UniformSource>(*this);
+  copy->reset();
+  return copy;
+}
+
 void UniformSource::reset() {
   rng_ = start_rng_;
   remaining_ = length_;
@@ -70,6 +78,14 @@ std::size_t ZipfSource::fill(std::span<Request> buffer) {
                           draw_sign(negative_fraction_, rng_)};
   }
   return n;
+}
+
+std::unique_ptr<RequestSource> ZipfSource::fork() const {
+  // Copy, then rewind: the copy's reset() restores the captured start RNG,
+  // so the fork replays the identical stream from round one.
+  auto copy = std::make_unique<ZipfSource>(*this);
+  copy->reset();
+  return copy;
 }
 
 void ZipfSource::reset() {
@@ -115,6 +131,14 @@ std::size_t HotspotSource::fill(std::span<Request> buffer) {
   return n;
 }
 
+std::unique_ptr<RequestSource> HotspotSource::fork() const {
+  // Copy, then rewind: the copy's reset() restores the captured start RNG,
+  // so the fork replays the identical stream from round one.
+  auto copy = std::make_unique<HotspotSource>(*this);
+  copy->reset();
+  return copy;
+}
+
 void HotspotSource::reset() {
   rng_ = start_rng_;
   hot_ = static_cast<NodeId>(rng_.below(tree_->size()));
@@ -156,6 +180,14 @@ std::size_t UpdateChurnSource::fill(std::span<Request> buffer) {
     }
   }
   return n;
+}
+
+std::unique_ptr<RequestSource> UpdateChurnSource::fork() const {
+  // Copy, then rewind: the copy's reset() restores the captured start RNG,
+  // so the fork replays the identical stream from round one.
+  auto copy = std::make_unique<UpdateChurnSource>(*this);
+  copy->reset();
+  return copy;
 }
 
 void UpdateChurnSource::reset() {

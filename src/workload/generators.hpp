@@ -31,6 +31,7 @@ class UniformSource final : public RequestSource {
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
     return remaining_;
   }
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   const Tree* tree_;
@@ -54,6 +55,7 @@ class ZipfSource final : public RequestSource {
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
     return remaining_;
   }
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   std::uint64_t length_;
@@ -78,6 +80,7 @@ class HotspotSource final : public RequestSource {
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
     return remaining_;
   }
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   const Tree* tree_;
@@ -105,6 +108,7 @@ class UpdateChurnSource final : public RequestSource {
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
     return remaining_;
   }
+  [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
  private:
   std::uint64_t length_;

@@ -132,6 +132,101 @@ TEST(ShardPlan, FibRuleTreeShardsByTopLevelPrefix) {
   }
 }
 
+TEST(ShardPlan, SingleNodeUniverse) {
+  // The smallest possible universe: one node, no children. Every shard
+  // request collapses onto the trivial plan and the engine still runs.
+  const Tree lone = trees::path(1);
+  const engine::ShardPlan plan(lone, 8);
+  ASSERT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(&plan.shard_tree(0), &lone);
+  EXPECT_EQ(plan.shard_of(0), 0u);
+  EXPECT_EQ(plan.to_local(0), NodeId{0});
+  EXPECT_EQ(plan.to_global(0, 0), NodeId{0});
+  EXPECT_EQ(plan.shard(0).nodes(), 1u);
+
+  sim::Params params;
+  params.set("alpha", "2");
+  params.set("capacity", "4");
+  engine::ShardedEngine eng(lone, "tc", params, {.shards = 8});
+  const Trace trace(5, positive(0));
+  TraceSource source{std::span<const Request>(trace)};
+  EXPECT_EQ(eng.run(source).total.rounds, 5u);
+}
+
+TEST(ShardPlan, UniverseSmallerThanShardCount) {
+  // Fewer top-level subtrees than requested shards: the plan caps at one
+  // shard per child and every map still round-trips.
+  const Tree star = trees::star(3);  // root + 3 leaf children
+  const engine::ShardPlan plan(star, 8);
+  ASSERT_EQ(plan.num_shards(), 3u);
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    EXPECT_EQ(plan.shard(s).roots.size(), 1u) << "shard " << s;
+    // Shard 0 holds the real root + its leaf; the others hold a replica
+    // root + their leaf.
+    EXPECT_EQ(plan.shard_tree(s).size(), 2u) << "shard " << s;
+  }
+  for (NodeId v = 0; v < star.size(); ++v) {
+    const std::size_t s = plan.shard_of(v);
+    EXPECT_EQ(plan.to_global(s, plan.to_local(v)), v);
+  }
+}
+
+TEST(ShardPlan, SkewedFibTreeKeepsHeavyPrefixWhole) {
+  // A FIB where one top-level prefix holds >90% of the nodes — the shape
+  // the ROADMAP's work-stealing item targets. The partition unit is the
+  // whole top-level subtree, so no shard count can split the hot prefix:
+  // the plan must keep it intact (and therefore unbalanced), while the
+  // remaining prefixes spread over the other shards.
+  std::vector<fib::Prefix> prefixes;
+  prefixes.push_back(fib::Prefix::parse("10.0.0.0/8"));
+  for (int i = 0; i < 56; ++i) {
+    prefixes.push_back(
+        fib::Prefix::parse("10." + std::to_string(i) + ".0.0/16"));
+  }
+  for (const char* light : {"20.0.0.0/8", "30.0.0.0/8", "40.0.0.0/8",
+                            "50.0.0.0/8"}) {
+    prefixes.push_back(fib::Prefix::parse(light));
+  }
+  const fib::RuleTree rt = fib::build_rule_tree(std::move(prefixes));
+  ASSERT_EQ(rt.tree.size(), 62u);  // default root + 57 + 4
+
+  const engine::ShardPlan plan(rt.tree, 4);
+  ASSERT_EQ(plan.num_shards(), 4u);
+  // The heavy prefix's subtree (57 of 61 non-root nodes = 93%) lands in
+  // exactly one shard, whole.
+  std::size_t heaviest = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    heaviest = std::max(heaviest, plan.shard(s).nodes());
+    std::size_t mass = s == 0 ? 1 : 0;  // shard 0 counts the real root
+    for (const NodeId r : plan.shard(s).roots) {
+      mass += rt.tree.subtree_size(r);
+    }
+    EXPECT_EQ(plan.shard(s).nodes(), mass) << "shard " << s;
+  }
+  EXPECT_GE(heaviest, 57u);
+  // Documented skew: request mass concentrates on one shard until the
+  // plan can split below the top level (ROADMAP: work stealing).
+  EXPECT_GE(static_cast<double>(heaviest) /
+                static_cast<double>(rt.tree.size()),
+            0.9);
+
+  // The skewed plan still runs the closed loop, thread-invariantly.
+  sim::Params params = smoke_params();
+  params.set("packets", "300");
+  const fib::RouterSimConfig router{.packets = 300, .alpha = 3, .seed = 5};
+  std::vector<engine::EngineResult> results;
+  for (const std::size_t threads : {1u, 3u}) {
+    engine::ShardedEngine eng(rt.tree, "tc", params,
+                              {.shards = 4, .threads = threads});
+    fib::RouterSource source(rt, router);
+    results.push_back(eng.run(source));
+  }
+  EXPECT_EQ(results[0].total, results[1].total);
+  for (std::size_t s = 0; s < results[0].per_shard.size(); ++s) {
+    EXPECT_EQ(results[0].per_shard[s], results[1].per_shard[s]);
+  }
+}
+
 // --- ShardedEngine determinism -------------------------------------------
 
 sim::Params engine_params() {
@@ -212,15 +307,20 @@ TEST(ShardedEngine, SingleShardEqualsRunSource) {
   EXPECT_EQ(via_engine.shards, 1u);
 }
 
-TEST(ShardedEngine, RejectsClosedLoopSourcesWhenSharded) {
+TEST(ShardedEngine, RunsClosedLoopSourcesThroughTheMirrorSplit) {
   const sim::Params params = smoke_params();
   const fib::RuleTree rt = fib::rule_tree_from_params(params);
   const fib::RouterSimConfig router{.packets = 200};
-  // Multi-shard runs never deliver observe() feedback, so a closed-loop
-  // source must be refused up front instead of silently starving.
-  engine::ShardedEngine sharded(rt.tree, "tc", params, {.shards = 4});
+  // Multi-shard closed loops split into per-shard mirrors (per-shard
+  // outcome feedback; tests/test_engine_closed_loop.cpp is the full
+  // differential suite) — the run is accepted and bit-identical for every
+  // thread count.
+  engine::ShardedEngine sharded(rt.tree, "tc", params,
+                                {.shards = 4, .threads = 2});
   fib::RouterSource closed(rt, router);
-  EXPECT_THROW((void)sharded.run(closed), CheckFailure);
+  const engine::EngineResult via_split = sharded.run(closed);
+  EXPECT_GT(via_split.total.rounds, 0u);
+  EXPECT_GT(via_split.shards, 1u);
   // The single-shard path delegates to run_source and accepts it.
   engine::ShardedEngine single(rt.tree, "tc", params, {.shards = 1});
   fib::RouterSource fresh(rt, router);

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "engine/shard_plan.hpp"
 #include "fib/fib_workloads.hpp"
 #include "fib/traffic.hpp"
 #include "sim/registry.hpp"
@@ -129,6 +130,53 @@ TEST(RegisteredWorkloads, ResetReplaysTheIdenticalStream) {
     ASSERT_FALSE(first.empty());
     source->reset();
     EXPECT_EQ(materialize(*source), first);
+  }
+}
+
+// Property test for RequestSource::split over every registered (open-loop)
+// workload: the per-shard streams are exactly the stable partition of the
+// unsharded stream by owning shard — so their concatenation is a
+// permutation of it — each part replays identically after reset(), and
+// split() is independent of how far the parent has been consumed.
+TEST(RegisteredWorkloads, SplitPartitionsEveryStreamByShard) {
+  Rng rng(29);
+  const Tree generic_tree = trees::random_recursive(60, rng);
+  const sim::Params params = smoke_params();
+  const fib::RuleTree rule_tree = fib::rule_tree_from_params(params);
+
+  for (const std::string& name : sim::WorkloadRegistry::instance().names()) {
+    SCOPED_TRACE("workload: " + name);
+    const Tree& tree =
+        fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
+    const engine::ShardPlan plan(tree, 4);
+    ASSERT_GE(plan.num_shards(), 2u);
+
+    const auto source = sim::make_source(name, tree, params, 21);
+    const Trace whole = materialize(*source);
+    ASSERT_FALSE(whole.empty());
+
+    // Splitting AFTER the parent was drained: parts replay from round one
+    // regardless of the parent's position.
+    const auto parts = source->split(plan);
+    ASSERT_EQ(parts.size(), plan.num_shards())
+        << "every registered workload must be shardable";
+
+    std::vector<Trace> expected(plan.num_shards());
+    for (const Request& r : whole) {
+      expected[plan.shard_of(r.node)].push_back(plan.to_local(r));
+    }
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      SCOPED_TRACE("shard " + std::to_string(s));
+      const Trace got = materialize(*parts[s]);
+      EXPECT_EQ(got, expected[s]);
+      total += got.size();
+      // reset() replays the identical per-shard stream.
+      parts[s]->reset();
+      EXPECT_EQ(materialize(*parts[s]), expected[s]);
+    }
+    // Conservation: nothing dropped, nothing double-routed.
+    EXPECT_EQ(total, whole.size());
   }
 }
 

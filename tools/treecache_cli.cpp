@@ -36,7 +36,11 @@
 //              synthetic RIB: --algos a,b,... --skews 0.8,1.2
 //              --capacities 64,256 --alphas 8,32 [--packets N]
 //              [--update-prob P] [--rules N] [--deagg D] [--max-len L]
-//              [--rib-seed S] [--seed S] [--json out.json]
+//              [--rib-seed S] [--seed S] [--shards S] [--threads N]
+//              [--json out.json]; --shards > 1 runs the closed loop
+//              sharded by top-level prefix (per-shard router mirrors fed
+//              by per-shard outcome queues); results are bit-identical
+//              for every --threads value
 //   opt        --tree tree.txt --trace trace.txt --alpha A --capacity K
 //              [--evaluator opt|static]
 //   fields     --tree tree.txt --trace trace.txt --alpha A --capacity K
@@ -439,8 +443,13 @@ int cmd_sweep(const Flags& flags) {
 }
 
 int cmd_fib(const Flags& flags) {
-  const sim::Params params = params_from(flags);
+  // shards/threads parameterize the engine, not the scenario: two runs
+  // that differ only in geometry echo identical scenario params (and the
+  // per-shard results are identical for every --threads value).
+  const sim::Params params = params_from(flags, {"shards", "threads"});
   const fib::RuleTree rules = fib::rule_tree_from_params(params);
+  const std::size_t shards = flags.get_u64("shards", 1);
+  const std::size_t threads = flags.get_u64("threads", 1);
   std::cerr << "rule tree: " << rules.tree.size() << " nodes, height "
             << rules.tree.height() << "\n";
 
@@ -454,8 +463,14 @@ int cmd_fib(const Flags& flags) {
   axes.alphas = split_csv_u64<std::uint64_t>(
       flags.get("alphas", flags.get("alpha", "16")));
 
-  const auto cells =
-      sim::run_fib_sweep(rules, axes, params, flags.get_u64("seed", 1));
+  const auto cells = sim::run_fib_sweep(rules, axes, params,
+                                        flags.get_u64("seed", 1), shards,
+                                        threads);
+  if (!cells.empty() && cells.front().shards > 1) {
+    std::cerr << "engine: " << cells.front().shards << " shards ("
+              << shards << " requested), " << cells.front().threads
+              << " worker threads per cell\n";
+  }
   ConsoleTable table({"algorithm", "skew", "capacity", "alpha", "hit rate",
                       "fwd err", "misses", "updates", "service", "reorg",
                       "total"});
