@@ -1,0 +1,59 @@
+#include "core/outcome_buffer.hpp"
+
+namespace treecache {
+
+void OutcomeBuffer::append(const StepOutcome& outcome) {
+  views_valid_ = false;
+  headers_.push_back(Header{
+      .changed = static_cast<std::uint32_t>(outcome.changed.size()),
+      .also_evicted = static_cast<std::uint32_t>(outcome.also_evicted.size()),
+      .aborted_fetch = static_cast<std::uint32_t>(outcome.aborted_fetch.size()),
+      .aborted_fetch_size = outcome.aborted_fetch_size,
+      .change = outcome.change,
+      .paid = outcome.paid});
+  nodes_.insert(nodes_.end(), outcome.changed.begin(), outcome.changed.end());
+  nodes_.insert(nodes_.end(), outcome.also_evicted.begin(),
+                outcome.also_evicted.end());
+  nodes_.insert(nodes_.end(), outcome.aborted_fetch.begin(),
+                outcome.aborted_fetch.end());
+}
+
+std::span<const StepOutcome> OutcomeBuffer::views() const {
+  if (!views_valid_) {
+    views_.clear();
+    views_.reserve(headers_.size());
+    const NodeId* cursor = nodes_.data();
+    for (const Header& h : headers_) {
+      const std::span<const NodeId> changed(cursor, h.changed);
+      cursor += h.changed;
+      const std::span<const NodeId> also_evicted(cursor, h.also_evicted);
+      cursor += h.also_evicted;
+      const std::span<const NodeId> aborted_fetch(cursor, h.aborted_fetch);
+      cursor += h.aborted_fetch;
+      views_.push_back(StepOutcome{.paid = h.paid,
+                                   .change = h.change,
+                                   .changed = changed,
+                                   .also_evicted = also_evicted,
+                                   .aborted_fetch = aborted_fetch,
+                                   .aborted_fetch_size = h.aborted_fetch_size});
+    }
+    views_valid_ = true;
+  }
+  return views_;
+}
+
+void OutcomeBuffer::clear() {
+  headers_.clear();
+  nodes_.clear();
+  views_.clear();
+  views_valid_ = false;
+}
+
+void OutcomeBuffer::swap(OutcomeBuffer& other) noexcept {
+  headers_.swap(other.headers_);
+  nodes_.swap(other.nodes_);
+  views_.swap(other.views_);
+  std::swap(views_valid_, other.views_valid_);
+}
+
+}  // namespace treecache

@@ -5,21 +5,27 @@
 // materializing a Trace up front. Sources come in two flavours:
 //
 //   open loop    the stream is fixed in advance (trace files, random
-//                generators, combinators over them). observe() is a no-op.
+//                generators, combinators over them). Feedback is ignored.
 //   closed loop  the next request depends on how the algorithm reacted —
 //                e.g. the FIB router source only emits a request when a
 //                packet misses the switch cache. Such sources rebuild the
 //                cache state they need from the StepOutcome feedback the
-//                driver hands to observe() after every round.
+//                driver hands to observe_batch() after stepping.
 //
 // The driver contract (sim::run_source) is strict alternation per batch:
 //   n = source.fill(buffer)       // n requests that do NOT depend on
 //                                 // outcomes the source has not seen yet
-//   for each of the n requests:   alg.step(r) → source.observe(outcome)
+//   step the n requests           // alg.step / step_batch
+//   source.observe_batch(...)     // the n outcomes, in stream order,
+//                                 // delivered before the next fill()
 // fill() returning 0 ends the run. A closed-loop source must therefore
 // only batch requests whose values are already determined (e.g. the
 // remainder of an α-chunk) and return before generating an event that
-// reads its mirrored cache state.
+// reads its mirrored cache state. The feedback granularity is free: the
+// driver may deliver the n outcomes as one batch or as n batches of one
+// (sim::AccountingSink does the latter) — a source must not care, which
+// is why observe_batch is the ONLY feedback virtual and observe() is a
+// non-virtual convenience forwarding a single outcome through it.
 //
 // next() is a convenience wrapper over fill() for one-request-at-a-time
 // consumers; implementations only ever override fill(), which amortizes
@@ -35,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "core/online_algorithm.hpp"
 #include "core/trace.hpp"
 
 namespace treecache::engine {
@@ -43,7 +50,22 @@ class ShardPlan;  // engine/shard_plan.hpp
 
 namespace treecache {
 
-struct StepOutcome;  // core/online_algorithm.hpp
+/// How RequestSource::split produced its per-shard parts — queryable so an
+/// engine can tell a genuine shared-generation split from the generic
+/// fork-per-shard fallback, which replays the FULL stream once per shard
+/// (an S× generation tax that silently eats the parallel speedup).
+enum class SplitKind : std::uint8_t {
+  /// split() returns empty: the source only runs single-shard.
+  kUnsplittable,
+  /// Each part independently replays the whole stream behind a filter
+  /// (the default fork()-based split). Correct, but generation cost
+  /// scales with the shard count.
+  kReplicated,
+  /// The parts share one generation pass over the stream (e.g. the FIB
+  /// router's producer-fed mirrors). Shared-generation parts must all be
+  /// consumed from a single thread — the engine's producer.
+  kShared,
+};
 
 class RequestSource {
  public:
@@ -67,15 +89,26 @@ class RequestSource {
     return std::nullopt;
   }
 
-  /// Feedback hook: the driver calls this after every step() with the
-  /// round's outcome, in stream order. Open-loop sources ignore it.
-  virtual void observe(const StepOutcome& /*outcome*/) {}
+  /// THE feedback virtual — the one customization point on the feedback
+  /// hot path. The driver hands over stepped outcomes in stream order,
+  /// chunked at its convenience (a whole step_batch chunk, or one at a
+  /// time via observe() below), always before the fill() that could
+  /// depend on them. The outcomes' spans are only valid for the duration
+  /// of the call. Open-loop sources ignore it (the default).
+  virtual void observe_batch(std::span<const StepOutcome> /*outcomes*/) {}
 
-  /// True when the stream depends on observe() feedback. Drivers that
-  /// cannot deliver outcomes in global stream order (the sharded engine
-  /// with more than one shard) must run such a source through split():
-  /// each per-shard mirror then receives its own outcomes in per-shard
-  /// order. A closed-loop source that cannot split is refused.
+  /// Single-outcome convenience over observe_batch — a thin non-virtual
+  /// forwarder kept for per-round drivers and tests. Do NOT override (it
+  /// is not virtual any more): implement observe_batch instead.
+  void observe(const StepOutcome& outcome) {
+    observe_batch(std::span<const StepOutcome>(&outcome, 1));
+  }
+
+  /// True when the stream depends on observe_batch() feedback. Drivers
+  /// that cannot deliver outcomes in global stream order (the sharded
+  /// engine with more than one shard) must run such a source through
+  /// split(): each per-shard mirror then receives its own outcomes in
+  /// per-shard order. A closed-loop source that cannot split is refused.
   [[nodiscard]] virtual bool is_closed_loop() const { return false; }
 
   /// A fresh instance that replays this source's stream from the very
@@ -98,12 +131,31 @@ class RequestSource {
   /// Open-loop sources split generically via fork(): each shard gets an
   /// independent replay of the whole stream behind a filter, so no state
   /// is shared between the parts and they may be consumed from different
-  /// threads. Closed-loop sources must override this with genuine
-  /// per-shard mirrors (e.g. fib::RouterSource) whose observe() accepts
+  /// threads (SplitKind::kReplicated — generation cost scales with the
+  /// shard count). Closed-loop sources must override this with genuine
+  /// per-shard mirrors (e.g. fib::RouterSource, whose mirrors share one
+  /// event producer — SplitKind::kShared) whose observe_batch() accepts
   /// shard-local outcomes; the default refuses them. An empty result
   /// means "cannot split".
+  ///
+  /// Shared-generation contract (kShared): the parts pull events from one
+  /// producer, so ALL of them must be consumed from a single thread —
+  /// interleaving fill() calls across parts is fine (the engine's
+  /// producer does exactly that), concurrent calls are not — and reset()
+  /// on any part rewinds the shared stream, so resetting one part mid-run
+  /// invalidates its siblings.
   [[nodiscard]] virtual std::vector<std::unique_ptr<RequestSource>> split(
       const engine::ShardPlan& plan) const;
+
+  /// What kind of parts split() would produce (advisory — diagnostics and
+  /// scheduling hints, not a correctness contract). The default matches
+  /// the generic split() above: open-loop sources replicate via fork(),
+  /// closed-loop sources cannot split. Sources overriding split() should
+  /// override this to match.
+  [[nodiscard]] virtual SplitKind split_kind() const {
+    return is_closed_loop() ? SplitKind::kUnsplittable
+                            : SplitKind::kReplicated;
+  }
 
   /// Single-request convenience over fill().
   [[nodiscard]] std::optional<Request> next() {

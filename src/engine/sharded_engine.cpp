@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <iostream>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/outcome_buffer.hpp"
 #include "util/stopwatch.hpp"
 
 namespace treecache::engine {
@@ -29,59 +31,31 @@ struct WorkerQueue {
   bool done = false;
 };
 
-/// A StepOutcome detached from the algorithm's scratch buffers, so it can
-/// cross the worker → producer feedback queue and be replayed into a
-/// mirror's observe() after the algorithm has moved on to later rounds.
-struct OutcomeCopy {
-  bool paid = false;
-  ChangeKind change = ChangeKind::kNone;
-  std::uint32_t aborted_fetch_size = 0;
-  std::vector<NodeId> changed;
-  std::vector<NodeId> also_evicted;
-  std::vector<NodeId> aborted_fetch;
-
-  explicit OutcomeCopy(const StepOutcome& out)
-      : paid(out.paid),
-        change(out.change),
-        aborted_fetch_size(out.aborted_fetch_size),
-        changed(out.changed.begin(), out.changed.end()),
-        also_evicted(out.also_evicted.begin(), out.also_evicted.end()),
-        aborted_fetch(out.aborted_fetch.begin(), out.aborted_fetch.end()) {}
-
-  [[nodiscard]] StepOutcome view() const {
-    return StepOutcome{.paid = paid,
-                       .change = change,
-                       .changed = changed,
-                       .also_evicted = also_evicted,
-                       .aborted_fetch = aborted_fetch,
-                       .aborted_fetch_size = aborted_fetch_size};
-  }
-};
-
 /// Per-shard outcome feedback of a closed-loop run, shared by the producer
-/// (drains into the mirrors' observe()) and the workers (push one copy per
-/// round, blocking on the per-shard bound). One mutex guards all queues:
-/// feedback traffic is chunk-grained, never the hot path.
+/// (drains into the mirrors' observe_batch()) and the workers (publish
+/// flattened sub-chunks, blocking while the shard's single ring slot is
+/// occupied). One mutex guards all rings: feedback traffic is sub-chunk
+/// grained, never per outcome.
 struct Feedback {
   explicit Feedback(std::size_t shards, std::size_t bound)
-      : queues(shards), bound(bound) {}
+      : rings(shards), bound(bound) {}
 
   std::mutex mutex;
   std::condition_variable ready;  // producer: outcomes to drain, or abort
-  std::condition_variable space;  // workers: below the per-shard bound
-  std::vector<std::deque<OutcomeCopy>> queues;  // one FIFO per shard
-  std::size_t pending = 0;  // total queued outcomes across shards
-  std::size_t bound;
+  std::condition_variable space;  // workers: the shard's ring was drained
+  std::vector<OutcomeBuffer> rings;  // one published sub-chunk per shard
+  std::size_t pending = 0;  // total buffered outcomes across shards
+  std::size_t bound;        // worker-side flush threshold (outcomes)
   bool aborted = false;
 
   /// Producer-side shutdown: discard everything and release every blocked
-  /// worker. Without the drain a worker waiting out a full queue would
+  /// worker. Without the drain a worker waiting out an occupied ring would
   /// never observe shutdown and the join below would deadlock.
   void abort_and_drain() {
     {
       const std::lock_guard<std::mutex> lock(mutex);
       aborted = true;
-      for (auto& queue : queues) queue.clear();
+      for (auto& ring : rings) ring.clear();
       pending = 0;
     }
     space.notify_all();
@@ -94,28 +68,42 @@ struct Feedback {
 struct AbortRun {};
 
 /// The worker-side sink of a closed-loop shard: accounts every round into
-/// the shard's RunResult (worker-local — the shard is pinned) and queues a
-/// copy of the outcome for the producer to feed the shard's mirror.
+/// the shard's RunResult (worker-local — the shard is pinned) and appends
+/// the outcome to a flattened worker-local OutcomeBuffer — no per-outcome
+/// heap copies — published to the shard's feedback ring in sub-chunks of
+/// at most `feedback.bound` outcomes.
 class FeedbackSink final : public OutcomeSink {
  public:
   FeedbackSink(sim::RunResult& result, const OnlineAlgorithm& alg,
-               Feedback& feedback, std::size_t shard)
-      : result_(&result), alg_(&alg), feedback_(&feedback), shard_(shard) {}
+               Feedback& feedback, std::size_t shard, OutcomeBuffer& local)
+      : result_(&result),
+        alg_(&alg),
+        feedback_(&feedback),
+        shard_(shard),
+        local_(&local) {}
 
   void on_outcome(const Request& request,
                   const StepOutcome& outcome) override {
     sim::accumulate_outcome(*result_, request, outcome,
                             alg_->cache().size());
-    OutcomeCopy copy(outcome);
+    local_->append(outcome);
+    if (local_->size() >= feedback_->bound) publish();
+  }
+
+  /// Hands the buffered outcomes to the shard's ring slot — an O(1) buffer
+  /// swap (the drained slot's storage comes back as the new local buffer),
+  /// waiting out the producer when the previous sub-chunk is still there.
+  /// The worker loop calls this once more after each chunk for the tail.
+  void publish() {
+    if (local_->empty()) return;
     {
       std::unique_lock<std::mutex> lock(feedback_->mutex);
       feedback_->space.wait(lock, [&] {
-        return feedback_->queues[shard_].size() < feedback_->bound ||
-               feedback_->aborted;
+        return feedback_->rings[shard_].empty() || feedback_->aborted;
       });
       if (feedback_->aborted) throw AbortRun{};
-      feedback_->queues[shard_].push_back(std::move(copy));
-      ++feedback_->pending;
+      feedback_->rings[shard_].swap(*local_);
+      feedback_->pending += feedback_->rings[shard_].size();
     }
     feedback_->ready.notify_one();
   }
@@ -125,7 +113,19 @@ class FeedbackSink final : public OutcomeSink {
   const OnlineAlgorithm* alg_;
   Feedback* feedback_;
   std::size_t shard_;
+  OutcomeBuffer* local_;
 };
+
+/// stderr diagnostic for the split_kind() satellite contract: a replicated
+/// split is correct but regenerates the whole stream once per shard.
+void warn_replicated_split(std::size_t shards) {
+  std::cerr << "treecache: warning: multi-shard run falls back to "
+               "replicated generation (RequestSource::split cloned the "
+               "stream for each of "
+            << shards
+            << " shards); generation cost scales with the shard count — "
+               "see RequestSource::split_kind()\n";
+}
 
 }  // namespace
 
@@ -163,6 +163,9 @@ EngineResult ShardedEngine::run(RequestSource& source) {
     TC_CHECK(mirrors.size() == num_shards,
              "closed-loop source cannot split into per-shard mirrors "
              "(RequestSource::split); run it with a single shard");
+    if (source.split_kind() == SplitKind::kReplicated) {
+      warn_replicated_split(num_shards);
+    }
     return run_split(mirrors);
   }
   for (auto& alg : algs_) alg->reset();
@@ -186,6 +189,25 @@ EngineResult ShardedEngine::run(RequestSource& source) {
   const std::size_t workers = effective_threads();
   out.threads = workers;
   out.per_shard.resize(num_shards);
+
+  // Open-loop scale-out: with more than one worker, prefer splitting the
+  // source so generation itself runs on the workers — the demux below
+  // serializes fill() on this thread. Shared-generation parts must stay
+  // on one thread, so only independent (non-kShared) splits qualify; a
+  // source that cannot split falls through to the demux.
+  if (workers > 1 && source.split_kind() != SplitKind::kShared) {
+    const auto parts = source.split(plan_);
+    if (parts.size() == num_shards) {
+      if (source.split_kind() == SplitKind::kReplicated) {
+        warn_replicated_split(num_shards);
+      }
+      run_parts_threaded(parts, out, workers);
+      finalize(out);
+      out.total.wall_seconds = timer.seconds();
+      return out;
+    }
+  }
+
   std::vector<sim::AccountingSink> sinks;
   sinks.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
@@ -365,17 +387,35 @@ EngineResult ShardedEngine::run_split(
 
   if (workers <= 1) {
     // Sequential reference shape: each shard's loop is the exact
-    // fill → step → observe alternation of sim::run_source, one shard
-    // after the other (shards share no state, so the order is free).
+    // fill → step → observe alternation of sim::run_source. Shards are
+    // interleaved round-robin, one chunk per pass, rather than run to
+    // exhaustion one by one: mirrors of a shared-generation split
+    // (SplitKind::kShared) pull from one producer, and draining shard 0
+    // first would buffer almost the whole stream for its siblings —
+    // interleaving keeps the producer's queues bounded by the inter-shard
+    // skew. Shards share no state, so the order is free and per-shard
+    // results are unchanged.
     std::vector<Request> buffer(config_.batch);
+    std::vector<sim::AccountingSink> sinks;
+    sinks.reserve(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s) {
-      sim::AccountingSink sink(out.per_shard[s], *algs_[s],
-                               mirrors[s].get());
-      for (;;) {
+      sinks.emplace_back(out.per_shard[s], *algs_[s], mirrors[s].get());
+    }
+    std::vector<bool> done(num_shards, false);
+    std::size_t remaining = num_shards;
+    while (remaining > 0) {
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        if (done[s]) continue;
         const std::size_t n =
             mirrors[s]->fill({buffer.data(), buffer.size()});
-        if (n == 0) break;
-        algs_[s]->step_batch({buffer.data(), n}, sink);
+        if (n == 0) {
+          // fill() contract: 0 is final until reset — the shard is done
+          // even while its siblings keep consuming the shared stream.
+          done[s] = true;
+          --remaining;
+          continue;
+        }
+        algs_[s]->step_batch({buffer.data(), n}, sinks[s]);
       }
     }
   } else {
@@ -405,6 +445,11 @@ void ShardedEngine::run_split_threaded(
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
       WorkerQueue& queue = queues[w];
+      // One recycled flat buffer per worker: the publish() swap protocol
+      // rotates storage between worker and producer, so the steady state
+      // allocates nothing. A worker drains it fully after every chunk, so
+      // sharing it across this worker's pinned shards cannot mix outcomes.
+      OutcomeBuffer scratch;
       for (;;) {
         std::pair<std::size_t, std::vector<Request>> item;
         {
@@ -417,9 +462,11 @@ void ShardedEngine::run_split_threaded(
           queue.chunks.pop_front();
         }
         const std::size_t s = item.first;
-        FeedbackSink sink(out.per_shard[s], *algs_[s], feedback, s);
+        FeedbackSink sink(out.per_shard[s], *algs_[s], feedback, s,
+                          scratch);
         try {
           algs_[s]->step_batch(item.second, sink);
+          sink.publish();  // the sub-bound tail of the chunk
         } catch (const AbortRun&) {
           return;  // torn down mid-chunk: shutdown, not an error
         } catch (...) {
@@ -437,8 +484,9 @@ void ShardedEngine::run_split_threaded(
   }
 
   // Producer: fill every mirror whose previous chunk has fully fed back,
-  // dispatch to the shard's pinned worker, then drain outcome queues into
-  // the mirrors' observe() — per-shard FIFO order — which readies the next
+  // dispatch to the shard's pinned worker, then drain the feedback rings
+  // into the mirrors' observe_batch() — per-shard FIFO order, one swap and
+  // one virtual call per published sub-chunk — which readies the next
   // fill. Closed-loop strict alternation per shard, pipelined across
   // shards.
   enum class MirrorState : std::uint8_t { kReady, kInFlight, kDone };
@@ -447,7 +495,7 @@ void ShardedEngine::run_split_threaded(
   std::size_t active = num_shards;
   std::size_t in_flight = 0;
   std::vector<Request> chunk(config_.batch);
-  std::vector<std::deque<OutcomeCopy>> drained(num_shards);
+  std::vector<OutcomeBuffer> drained(num_shards);
   std::exception_ptr producer_error;
   try {
     while (active > 0) {
@@ -482,18 +530,17 @@ void ShardedEngine::run_split_threaded(
         });
         if (feedback.aborted) break;  // a worker failed; rethrown below
         for (std::size_t s = 0; s < num_shards; ++s) {
-          if (feedback.queues[s].empty()) continue;
-          drained[s] = std::move(feedback.queues[s]);
-          feedback.queues[s].clear();
+          // O(1) swap: the ring slot's storage moves out for draining and
+          // the (empty, capacity-bearing) drained buffer moves in, to be
+          // recycled by the next worker publish.
+          if (!feedback.rings[s].empty()) feedback.rings[s].swap(drained[s]);
         }
         feedback.pending = 0;
       }
       feedback.space.notify_all();
       for (std::size_t s = 0; s < num_shards; ++s) {
         if (drained[s].empty()) continue;
-        for (const OutcomeCopy& copy : drained[s]) {
-          mirrors[s]->observe(copy.view());
-        }
+        mirrors[s]->observe_batch(drained[s].views());
         expected[s] -= drained[s].size();
         drained[s].clear();
         if (expected[s] == 0 && state[s] == MirrorState::kInFlight) {
@@ -521,6 +568,41 @@ void ShardedEngine::run_split_threaded(
   for (auto& worker : pool) worker.join();
   if (producer_error) std::rethrow_exception(producer_error);
   if (worker_error) std::rethrow_exception(worker_error);
+}
+
+void ShardedEngine::run_parts_threaded(
+    std::span<const std::unique_ptr<RequestSource>> parts,
+    EngineResult& out, std::size_t workers) {
+  const std::size_t num_shards = plan_.num_shards();
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        std::vector<Request> buffer(config_.batch);
+        // Shard s is pinned to worker s % workers, like the demux path, so
+        // per-shard order is trivially the part's stream order. Parts are
+        // already shard-local (RequestSource::split remaps ids), so the
+        // loop is the plain fill → step_batch driver, one shard at a time.
+        for (std::size_t s = w; s < num_shards; s += workers) {
+          sim::AccountingSink sink(out.per_shard[s], *algs_[s], nullptr);
+          for (;;) {
+            const std::size_t n =
+                parts[s]->fill({buffer.data(), buffer.size()});
+            if (n == 0) break;
+            algs_[s]->step_batch({buffer.data(), n}, sink);
+          }
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace treecache::engine

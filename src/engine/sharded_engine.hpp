@@ -16,22 +16,37 @@
 // threads=1 demux. Tests enforce equality against independent per-shard
 // sequential runs and across thread counts.
 //
+// Open loops at scale: when the source can split (RequestSource::split)
+// and more than one worker is available, each worker self-drives its
+// shards' parts through fill → step_batch — request generation itself
+// runs on the workers instead of serializing on a demux thread. Sources
+// that cannot split keep the demux path (the caller thread routes batches
+// to per-shard queues). A multi-shard run over a replicated split
+// (SplitKind::kReplicated — every part replays the whole stream) logs a
+// warning to stderr: it is correct, but pays the generation cost once per
+// shard.
+//
 // Closed loops: with one shard the engine delegates to sim::run_source,
 // which feeds outcomes back to the source, so closed-loop sources (the FIB
 // router) run unchanged. With multiple shards a closed-loop source is
-// split into per-shard mirrors (RequestSource::split) and run through a
+// split into per-shard mirrors (RequestSource::split — for the FIB router
+// a SplitKind::kShared split: one event producer generates the stream
+// once, mirrors consume per-shard event queues) and run through a
 // per-shard outcome feedback loop: the producer thread fills each mirror
 // and dispatches the chunk to the shard's pinned worker; the worker steps
-// it and pushes a copy of every outcome into the shard's bounded outcome
-// queue; the producer drains the queue into the mirror's observe() — in
-// per-shard order — before filling that mirror again. Feedback never
-// crosses shards, outcomes may complete out of order globally, and each
-// shard's closed loop is exactly the sequential fill → step → observe
-// alternation, so per-shard results are bit-identical for every thread
-// count and equal to independent per-shard sequential runs (the
-// differential suite in tests/test_engine_closed_loop.cpp enforces this
-// for every registered algorithm). A closed-loop source whose split()
-// returns empty is refused with more than one shard.
+// it, accumulating outcomes into a flattened OutcomeBuffer, and publishes
+// sub-chunks of at most EngineConfig::feedback outcomes into the shard's
+// single-slot feedback ring (an O(1) buffer swap — no per-outcome heap
+// copies); the producer drains the rings into the mirrors' observe_batch()
+// — in per-shard order — and refills a mirror only once its whole chunk
+// has fed back. Feedback never crosses shards, outcomes may complete out
+// of order globally, and each shard's closed loop is exactly the
+// sequential fill → step → observe alternation, so per-shard results are
+// bit-identical for every thread count and equal to independent per-shard
+// sequential runs (the differential suite in
+// tests/test_engine_closed_loop.cpp enforces this for every registered
+// algorithm). A closed-loop source whose split() returns empty is refused
+// with more than one shard.
 #pragma once
 
 #include <memory>
@@ -58,9 +73,11 @@ struct EngineConfig {
   /// kDriverBatchSize — the constructor normalizes this field accordingly,
   /// so config() reports the geometry actually used.
   std::size_t batch = sim::kDriverBatchSize;
-  /// Closed-loop runs only: bound on copied outcomes buffered per shard
-  /// between a worker and the producer's observe() drain. Small values
-  /// backpressure workers instead of growing memory; must be >= 1.
+  /// Closed-loop runs only: a worker publishes its flattened outcomes to
+  /// the shard's feedback ring whenever this many have accumulated (and at
+  /// the end of each chunk), then waits for the producer to drain the ring
+  /// before publishing more. Small values backpressure workers instead of
+  /// growing memory; must be >= 1 (1 = per-outcome handoff).
   std::size_t feedback = 1024;
 };
 
@@ -86,7 +103,9 @@ class ShardedEngine {
   /// Resets every instance and runs `source` to exhaustion. See the header
   /// comment for the determinism and closed-loop contracts. A multi-shard
   /// closed-loop source is split() into mirrors and routed through
-  /// run_split; it must be shardable or the run is refused.
+  /// run_split; it must be shardable or the run is refused. Paths that
+  /// split (closed loops; open loops with more than one worker) replay
+  /// the stream from its very beginning — pass a fresh or reset source.
   [[nodiscard]] EngineResult run(RequestSource& source);
 
   /// Resets every instance and runs one pre-split per-shard source per
@@ -113,6 +132,13 @@ class ShardedEngine {
   void finalize(EngineResult& out) const;
   void run_split_threaded(
       std::span<const std::unique_ptr<RequestSource>> mirrors,
+      EngineResult& out, std::size_t workers);
+  /// Open-loop scale-out over split() parts: worker w self-drives the
+  /// parts of shards w, w+workers, ... to exhaustion — generation runs on
+  /// the workers, no demux in the middle. Parts must be independently
+  /// consumable (any SplitKind but kShared).
+  void run_parts_threaded(
+      std::span<const std::unique_ptr<RequestSource>> parts,
       EngineResult& out, std::size_t workers);
 
   ShardPlan plan_;

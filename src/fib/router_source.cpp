@@ -1,41 +1,116 @@
 #include "fib/router_source.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/online_algorithm.hpp"
 #include "engine/shard_plan.hpp"
 
 namespace treecache::fib {
+namespace {
 
-RouterSource::RouterSource(const RuleTree& rules,
-                           const RouterSimConfig& config)
+/// Events generated per pump_for round: large enough to amortize the call,
+/// small enough that a mirror never runs far ahead of its siblings.
+constexpr std::size_t kPumpChunk = 256;
+
+std::shared_ptr<RouterEventProducer> require_producer(
+    std::shared_ptr<RouterEventProducer> producer) {
+  TC_CHECK(producer != nullptr, "router mirror needs an event producer");
+  return producer;
+}
+
+/// A private producer for a standalone mirror: nobody consumes the other
+/// shards' queues, so their events are dropped at generation time.
+std::shared_ptr<RouterEventProducer> make_solo_producer(
+    const RuleTree& rules, const RouterSimConfig& config,
+    const engine::ShardPlan& plan, std::size_t shard) {
+  auto producer =
+      std::make_shared<RouterEventProducer>(rules, config, plan);
+  producer->discard_foreign(shard);
+  return producer;
+}
+
+}  // namespace
+
+// --- RouterEventProducer --------------------------------------------------
+
+RouterEventProducer::RouterEventProducer(const RuleTree& rules,
+                                         const RouterSimConfig& config,
+                                         const engine::ShardPlan& plan)
     : rules_(&rules),
       config_(config),
-      trivial_plan_(rules.tree, 1),
-      whole_(rules, config, trivial_plan_, 0) {}
-
-std::size_t RouterSource::fill(std::span<Request> buffer) {
-  return whole_.fill(buffer);
+      plan_(&plan),
+      // Identical construction order to the reference loop: the sampler's
+      // permutation draw consumes the same seed state, so every producer —
+      // whatever its plan — ranks rules identically.
+      rng_(config.seed),
+      sampler_(rules, config.zipf_skew, rng_),
+      start_rng_(rng_),
+      queues_(plan.num_shards()) {
+  TC_CHECK(config_.update_probability >= 0.0 &&
+               config_.update_probability < 1.0,
+           "update probability must lie in [0, 1) so packet events can "
+           "finish the run");
 }
 
-void RouterSource::reset() { whole_.reset(); }
-
-void RouterSource::observe(const StepOutcome& outcome) {
-  whole_.observe(outcome);
+void RouterEventProducer::discard_foreign(std::size_t shard) {
+  TC_CHECK(shard < queues_.size(), "shard index outside the plan");
+  solo_shard_ = shard;
 }
 
-std::vector<std::unique_ptr<RequestSource>> RouterSource::split(
-    const engine::ShardPlan& plan) const {
-  TC_CHECK(&plan.universe() == &rules_->tree,
-           "the shard plan was built over a different tree than this "
-           "router's rule tree");
-  std::vector<std::unique_ptr<RequestSource>> out;
-  out.reserve(plan.num_shards());
-  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
-    out.push_back(
-        std::make_unique<RouterMirrorSource>(*rules_, config_, plan, s));
+std::size_t RouterEventProducer::pump(std::size_t budget) {
+  std::size_t generated = 0;
+  while (generated < budget && packets_generated_ < config_.packets) {
+    if (rng_.chance(config_.update_probability)) {
+      const NodeId rule = sampler_.sample_rule(rng_);
+      const std::size_t owner = plan_->shard_of(rule);
+      if (solo_shard_ == kAllShards || owner == solo_shard_) {
+        queues_[owner].events.push_back(RouterEvent{
+            .addr = 0, .node = rule, .kind = RouterEventKind::kUpdate});
+      }
+    } else {
+      const Address addr = sampler_.sample_address(rng_);
+      // The full-table match is resolved here, once — mirrors never rerun
+      // the global LPM. Packets whose match is the default rule belong to
+      // shard 0 (the plan routes the root there), like every other match.
+      const NodeId match = rules_->lpm(addr);
+      ++packets_generated_;
+      const std::size_t owner = plan_->shard_of(match);
+      if (solo_shard_ == kAllShards || owner == solo_shard_) {
+        queues_[owner].events.push_back(RouterEvent{
+            .addr = addr, .node = match, .kind = RouterEventKind::kPacket});
+      }
+    }
+    ++generated;
   }
-  return out;
+  return generated;
+}
+
+bool RouterEventProducer::pump_for(std::size_t shard) {
+  while (!has_event(shard) && !exhausted()) pump(kPumpChunk);
+  return has_event(shard);
+}
+
+RouterEvent RouterEventProducer::pop(std::size_t shard) {
+  Queue& q = queues_[shard];
+  TC_CHECK(q.head < q.events.size(), "pop from an empty shard queue");
+  const RouterEvent event = q.events[q.head++];
+  if (q.head == q.events.size()) {
+    // Recycle the storage: queues stay sized to the inter-shard skew of
+    // one pump round, not the stream length.
+    q.events.clear();
+    q.head = 0;
+  }
+  return event;
+}
+
+void RouterEventProducer::reset() {
+  rng_ = start_rng_;
+  packets_generated_ = 0;
+  for (Queue& q : queues_) {
+    q.events.clear();
+    q.head = 0;
+  }
 }
 
 // --- RouterMirrorSource ---------------------------------------------------
@@ -44,30 +119,22 @@ RouterMirrorSource::RouterMirrorSource(const RuleTree& rules,
                                        const RouterSimConfig& config,
                                        const engine::ShardPlan& plan,
                                        std::size_t shard)
-    : rules_(&rules),
-      config_(config),
-      plan_(&plan),
-      shard_(shard),
-      // Identical construction order to RouterSource: the sampler's
-      // permutation draw consumes the same seed state, so every mirror —
-      // and the unsharded source — ranks rules identically.
-      rng_(config.seed),
-      sampler_(rules, config.zipf_skew, rng_),
-      start_rng_(rng_),
-      cached_(plan.shard_tree(shard).size(), 0) {
-  TC_CHECK(shard_ < plan.num_shards(), "shard index outside the plan");
-  TC_CHECK(config_.update_probability >= 0.0 &&
-               config_.update_probability < 1.0,
-           "update probability must lie in [0, 1) so packet events can "
-           "finish the run");
-}
+    : RouterMirrorSource(make_solo_producer(rules, config, plan, shard),
+                         shard) {}
 
-bool RouterMirrorSource::owns(NodeId v) const {
-  return plan_->shard_of(v) == shard_;
+RouterMirrorSource::RouterMirrorSource(
+    std::shared_ptr<RouterEventProducer> producer, std::size_t shard)
+    : producer_(require_producer(std::move(producer))),
+      rules_(&producer_->rules()),
+      plan_(&producer_->plan()),
+      shard_(shard),
+      alpha_(producer_->config().alpha),
+      cached_(plan_->shard_tree(shard).size(), 0) {
+  TC_CHECK(shard_ < plan_->num_shards(), "shard index outside the plan");
 }
 
 bool RouterMirrorSource::cached_rule(NodeId v) const {
-  if (owns(v)) return cached_[plan_->to_local(v)] != 0;
+  if (plan_->shard_of(v) == shard_) return cached_[plan_->to_local(v)] != 0;
   // An address's trie walk only visits ancestors of its full-table match:
   // rules of the owning shard, plus the default rule. The latter reads as
   // this shard's replica root (local node 0), never as foreign state.
@@ -85,17 +152,16 @@ std::size_t RouterMirrorSource::fill(std::span<Request> buffer) {
   }
   if (n > 0) return n;
 
-  // Replay the global event stream. `packets_seen_` counts every packet
-  // event — the termination condition is global, so all mirrors stop after
-  // the same event — while stats_ counts only the events this shard owns.
-  while (packets_seen_ < config_.packets) {
-    if (rng_.chance(config_.update_probability)) {
-      const NodeId rule = sampler_.sample_rule(rng_);
-      if (!owns(rule)) continue;  // another line card's update
+  // Consume this shard's slice of the pre-generated global stream. The
+  // producer's termination is global — all mirrors stop after the same
+  // event — while stats_ counts only the events this shard owns.
+  while (producer_->pump_for(shard_)) {
+    const RouterEvent event = producer_->pop(shard_);
+    if (event.kind == RouterEventKind::kUpdate) {
       ++stats_.updates;
-      if (cached_rule(rule)) ++stats_.cached_updates;
-      pending_local_ = plan_->to_local(rule);
-      pending_ = config_.alpha;
+      if (cached_rule(event.node)) ++stats_.cached_updates;
+      pending_local_ = plan_->to_local(event.node);
+      pending_ = alpha_;
       while (pending_ > 0 && n < buffer.size()) {
         --pending_;
         buffer[n++] = negative(pending_local_);
@@ -103,18 +169,14 @@ std::size_t RouterMirrorSource::fill(std::span<Request> buffer) {
       return n;
     }
 
-    const Address addr = sampler_.sample_address(rng_);
-    const NodeId full_match = rules_->lpm(addr);
-    ++packets_seen_;
-    // Packets whose full-table match is the default rule belong to shard 0
-    // (the plan routes the root there), like every other match.
-    if (!owns(full_match)) continue;
     ++stats_.packets;
-    // The switch looks up the packet over this card's cached rules only.
+    // The switch looks up the packet over this card's cached rules only;
+    // event.node is the pre-resolved full-table match, in global ids like
+    // the rules the walk visits.
     const auto cached_match = rules_->trie.lookup_if(
-        addr, [&](RuleId rule) { return cached_rule(rule); });
+        event.addr, [&](RuleId rule) { return cached_rule(rule); });
 
-    if (cached_match.has_value() && *cached_match == full_match) {
+    if (cached_match.has_value() && *cached_match == event.node) {
       ++stats_.hits;
       continue;
     }
@@ -125,7 +187,7 @@ std::size_t RouterMirrorSource::fill(std::span<Request> buffer) {
     } else {
       ++stats_.misses;
     }
-    buffer[n++] = positive(plan_->to_local(full_match));
+    buffer[n++] = positive(plan_->to_local(event.node));
     // Stop here: the fetch this request may trigger changes the mirror
     // the next owned packet lookup depends on.
     return n;
@@ -134,30 +196,70 @@ std::size_t RouterMirrorSource::fill(std::span<Request> buffer) {
 }
 
 void RouterMirrorSource::reset() {
-  rng_ = start_rng_;
+  producer_->reset();
   std::ranges::fill(cached_, 0);
   stats_ = {};
-  packets_seen_ = 0;
   pending_ = 0;
 }
 
-void RouterMirrorSource::observe(const StepOutcome& outcome) {
+void RouterMirrorSource::observe_batch(
+    std::span<const StepOutcome> outcomes) {
   // Outcomes arrive in shard-LOCAL ids, straight from this shard's
-  // algorithm instance.
-  for (const NodeId v : outcome.also_evicted) cached_[v] = 0;
-  switch (outcome.change) {
-    case ChangeKind::kNone:
-      break;
-    case ChangeKind::kFetch:
-      for (const NodeId v : outcome.changed) cached_[v] = 1;
-      break;
-    case ChangeKind::kEvict:
-      for (const NodeId v : outcome.changed) cached_[v] = 0;
-      break;
-    case ChangeKind::kPhaseRestart:
-      std::ranges::fill(cached_, 0);
-      break;
+  // algorithm instance, in per-shard stream order.
+  for (const StepOutcome& outcome : outcomes) {
+    for (const NodeId v : outcome.also_evicted) cached_[v] = 0;
+    switch (outcome.change) {
+      case ChangeKind::kNone:
+        break;
+      case ChangeKind::kFetch:
+        for (const NodeId v : outcome.changed) cached_[v] = 1;
+        break;
+      case ChangeKind::kEvict:
+        for (const NodeId v : outcome.changed) cached_[v] = 0;
+        break;
+      case ChangeKind::kPhaseRestart:
+        std::ranges::fill(cached_, 0);
+        break;
+    }
   }
+}
+
+// --- RouterSource ---------------------------------------------------------
+
+RouterSource::RouterSource(const RuleTree& rules,
+                           const RouterSimConfig& config)
+    : rules_(&rules),
+      config_(config),
+      trivial_plan_(rules.tree, 1),
+      whole_(std::make_shared<RouterEventProducer>(rules, config,
+                                                   trivial_plan_),
+             0) {}
+
+std::size_t RouterSource::fill(std::span<Request> buffer) {
+  return whole_.fill(buffer);
+}
+
+void RouterSource::reset() { whole_.reset(); }
+
+void RouterSource::observe_batch(std::span<const StepOutcome> outcomes) {
+  whole_.observe_batch(outcomes);
+}
+
+std::vector<std::unique_ptr<RequestSource>> RouterSource::split(
+    const engine::ShardPlan& plan) const {
+  TC_CHECK(&plan.universe() == &rules_->tree,
+           "the shard plan was built over a different tree than this "
+           "router's rule tree");
+  // ONE producer, shared by every mirror: the global stream is generated
+  // once, and each mirror consumes exactly its shard's slice of it.
+  auto producer =
+      std::make_shared<RouterEventProducer>(*rules_, config_, plan);
+  std::vector<std::unique_ptr<RequestSource>> out;
+  out.reserve(plan.num_shards());
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    out.push_back(std::make_unique<RouterMirrorSource>(producer, s));
+  }
+  return out;
 }
 
 }  // namespace treecache::fib

@@ -7,31 +7,36 @@
 // driver do the stepping. The switch-side state it needs — "is this rule
 // cached right now?" for LPM over the cached subforest and for the
 // cached-update statistic — is mirrored from the StepOutcome feedback the
-// driver hands to observe() after every round, so the source never touches
-// the algorithm.
+// driver hands to observe_batch() after stepping, so the source never
+// touches the algorithm.
 //
 // Closed-loop batching contract: a pending α-chunk is predetermined and may
 // be batched, but after emitting a packet request fill() returns — the next
 // event reads the mirror, which the not-yet-observed outcome may change.
 //
-// Sharding (the mirror split): split() turns the source into one
-// RouterMirrorSource per shard of an engine::ShardPlan. Every mirror
-// replays the SAME global event stream — event types, sampled rules and
-// addresses are pure RNG, independent of any cache state, so all mirrors
-// stay in lockstep by construction — but a mirror only *acts on* the
-// events whose full-table match lands in its shard (the plan partitions
-// the rule tree by top-level prefix, and every rule an address's trie walk
-// can touch is an ancestor of its LPM match: same top-level prefix, plus
-// the default rule, whose per-shard replica each line card mirrors
-// locally). Owned events consult only the shard's own cache mirror, so
+// Sharding (the producer/consumer mirror split): split() builds ONE
+// RouterEventProducer plus one RouterMirrorSource per shard of an
+// engine::ShardPlan. Events — event types, sampled rules and addresses —
+// are pure RNG, independent of any cache state, so the producer generates
+// the global stream ONCE and routes each event into the queue of the shard
+// owning its full-table match (the plan partitions the rule tree by
+// top-level prefix, and every rule an address's trie walk can touch is an
+// ancestor of its LPM match: same top-level prefix, plus the default rule,
+// whose per-shard replica each line card mirrors locally). A mirror pulls
+// only its own queue; consulting only the shard's own cache mirror, so
 // feedback never crosses shards: each mirror needs exactly its shard's
 // outcomes, in per-shard order, while outcomes may complete out of order
-// globally. Requests are emitted in shard-LOCAL node ids and observe()
-// expects shard-local outcomes — a mirror plugs straight into the shard's
-// algorithm instance with no translation in the engine.
+// globally. Requests are emitted in shard-LOCAL node ids and
+// observe_batch() expects shard-local outcomes — a mirror plugs straight
+// into the shard's algorithm instance with no translation in the engine.
+//
+// Threading: the producer is deliberately lock-free-by-exclusivity — all
+// sibling mirrors must be consumed from one thread (the engine's run_split
+// producer thread), which is the SplitKind::kShared contract.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -42,21 +47,125 @@
 
 namespace treecache::fib {
 
-/// One shard's slice of the closed loop: replays the global event stream
-/// in RNG lockstep with every other mirror, emits only the requests owned
-/// by its shard (in shard-local ids), and keeps one cache mirror for the
-/// shard's algorithm instance, fed by observe() with that instance's
+enum class RouterEventKind : std::uint8_t { kPacket, kUpdate };
+
+/// One pre-generated event of the global router stream. `node` is the
+/// GLOBAL id of the packet's full-table LPM match (resp. the updated
+/// rule) — global so the consuming mirror can compare it against its
+/// cached-LPM walk, which sees global rule ids; the mirror localizes it
+/// only when emitting a request.
+struct RouterEvent {
+  Address addr = 0;  // packets only: the sampled address
+  NodeId node = 0;
+  RouterEventKind kind = RouterEventKind::kPacket;
+};
+
+/// Generates the global event stream ONCE — in exactly the RNG order of
+/// the reference loop — and routes every event into a per-shard queue
+/// keyed by the shard owning `node`. Generation is pull-driven: a mirror
+/// that finds its queue empty pumps the producer until an owned event
+/// appears or the stream ends, so memory stays bounded by the skew between
+/// shards, not the stream length (drained queues recycle their storage).
+///
+/// Single-threaded by design: all consumers share the caller's thread.
+class RouterEventProducer {
+ public:
+  /// `rules` and `plan` must outlive the producer.
+  RouterEventProducer(const RuleTree& rules, const RouterSimConfig& config,
+                      const engine::ShardPlan& plan);
+
+  RouterEventProducer(const RouterEventProducer&) = delete;
+  RouterEventProducer& operator=(const RouterEventProducer&) = delete;
+
+  /// Generates up to `budget` further events of the global stream into the
+  /// per-shard queues; returns how many were generated (0 = exhausted).
+  std::size_t pump(std::size_t budget);
+
+  /// Pumps until `shard` has a queued event or the stream ends; true when
+  /// an event is available.
+  bool pump_for(std::size_t shard);
+
+  /// Pops the next event owned by `shard` (callers check pump_for first).
+  RouterEvent pop(std::size_t shard);
+
+  [[nodiscard]] bool has_event(std::size_t shard) const {
+    const Queue& q = queues_[shard];
+    return q.head < q.events.size();
+  }
+  /// Events generated but not yet consumed by `shard` — test hook for the
+  /// stable-partition property.
+  [[nodiscard]] std::size_t buffered(std::size_t shard) const {
+    const Queue& q = queues_[shard];
+    return q.events.size() - q.head;
+  }
+  /// True once the global stream has generated its last event. Queues may
+  /// still hold unconsumed events.
+  [[nodiscard]] bool exhausted() const {
+    return packets_generated_ >= config_.packets;
+  }
+
+  /// Rewinds generation to the first event and drops every queued one.
+  /// All sibling mirrors must be reset together (the kShared contract).
+  void reset();
+
+  /// Standalone-mirror mode: drop every event not owned by `shard` at
+  /// generation time instead of queuing it — the other queues have no
+  /// consumer, and without this a lone mirror would buffer O(stream).
+  /// Generation (RNG, packet count) is unaffected.
+  void discard_foreign(std::size_t shard);
+
+  [[nodiscard]] const RuleTree& rules() const { return *rules_; }
+  [[nodiscard]] const RouterSimConfig& config() const { return config_; }
+  [[nodiscard]] const engine::ShardPlan& plan() const { return *plan_; }
+
+ private:
+  struct Queue {
+    std::vector<RouterEvent> events;
+    std::size_t head = 0;  // consumed prefix; storage recycled when drained
+  };
+
+  static constexpr std::size_t kAllShards =
+      std::numeric_limits<std::size_t>::max();
+
+  const RuleTree* rules_;
+  RouterSimConfig config_;
+  const engine::ShardPlan* plan_;
+  Rng rng_;        // seeded, then consumed by the sampler's setup
+  PacketSampler sampler_;
+  Rng start_rng_;  // rng_ state AFTER the sampler's permutation draw
+  std::vector<Queue> queues_;         // one per shard of the plan
+  std::uint64_t packets_generated_ = 0;  // global termination condition
+  std::size_t solo_shard_ = kAllShards;  // discard_foreign() mode
+};
+
+/// One shard's slice of the closed loop: consumes its shard's events from
+/// a (usually shared) RouterEventProducer, emits the requests those events
+/// imply (in shard-local ids), and keeps one cache mirror for the shard's
+/// algorithm instance, fed by observe_batch() with that instance's
 /// outcomes in per-shard order. RouterSource below IS the trivial
 /// single-shard mirror behind the classic interface, so the two can never
-/// drift apart. `rules` and `plan` must outlive the source.
+/// drift apart.
 class RouterMirrorSource final : public RequestSource {
  public:
+  /// Standalone mirror with a PRIVATE producer — the sequential reference
+  /// shape (tests drive one per shard independently). Replays the full
+  /// global generation per mirror, so S standalone mirrors pay the S×
+  /// generation tax the shared split exists to avoid. `rules` and `plan`
+  /// must outlive the source.
   RouterMirrorSource(const RuleTree& rules, const RouterSimConfig& config,
                      const engine::ShardPlan& plan, std::size_t shard);
 
+  /// Producer-fed mirror sharing `producer` with its sibling shards (the
+  /// shape RouterSource::split builds): generation runs once for all of
+  /// them. See the kShared contract in the header comment.
+  RouterMirrorSource(std::shared_ptr<RouterEventProducer> producer,
+                     std::size_t shard);
+
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
+  /// Resets the mirror AND rewinds its producer — with a shared producer,
+  /// all sibling mirrors must be reset together.
   void reset() override;
-  void observe(const StepOutcome& outcome) override;
+  void observe_batch(std::span<const StepOutcome> outcomes) override;
   [[nodiscard]] bool is_closed_loop() const override { return true; }
 
   /// Statistics of the events this shard owns. Summing over all mirrors
@@ -66,30 +175,25 @@ class RouterMirrorSource final : public RequestSource {
   [[nodiscard]] std::size_t shard() const { return shard_; }
 
  private:
-  /// Is global rule `v` owned by this shard?
-  [[nodiscard]] bool owns(NodeId v) const;
   /// Cache-mirror lookup by GLOBAL rule id, as the trie walk sees rules.
   /// Foreign rules read as uncached except the default rule, which reads
   /// this shard's replica (local node 0) — the line card's own copy.
   [[nodiscard]] bool cached_rule(NodeId v) const;
 
-  const RuleTree* rules_;
-  RouterSimConfig config_;
+  std::shared_ptr<RouterEventProducer> producer_;
+  const RuleTree* rules_;  // == &producer_->rules(), cached for the walk
   const engine::ShardPlan* plan_;
   std::size_t shard_;
-  Rng rng_;        // seeded, then consumed by the sampler's setup
-  PacketSampler sampler_;
-  Rng start_rng_;  // rng_ state AFTER the sampler's permutation draw
+  std::uint64_t alpha_;
   std::vector<std::uint8_t> cached_;  // by LOCAL id, incl. replica root
   RouterSimResult stats_;             // owned events only
-  std::uint64_t packets_seen_ = 0;    // GLOBAL packet count (termination)
   NodeId pending_local_ = 0;
   std::uint64_t pending_ = 0;  // negatives left in the current α-chunk
 };
 
 /// The unsharded event loop: a thin wrapper over a RouterMirrorSource on
 /// the trivial one-shard plan, so there is exactly ONE implementation of
-/// the event stream — a mirror cannot drift out of RNG lockstep with the
+/// the event stream — a mirror cannot drift out of lockstep with the
 /// "whole" source, because they are the same code. Equality with the
 /// self-contained reference loop (fib/router_sim.hpp) is enforced by
 /// tests, and transitively pins every shard mirror.
@@ -100,25 +204,30 @@ class RouterSource final : public RequestSource {
   /// on the same rule tree.
   RouterSource(const RuleTree& rules, const RouterSimConfig& config);
 
-  // The internal mirror points at the member plan: default copy/move
-  // would dangle it.
+  // The internal mirror's producer points at the member plan: default
+  // copy/move would dangle it.
   RouterSource(const RouterSource&) = delete;
   RouterSource& operator=(const RouterSource&) = delete;
 
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
-  void observe(const StepOutcome& outcome) override;
+  void observe_batch(std::span<const StepOutcome> outcomes) override;
   [[nodiscard]] bool is_closed_loop() const override { return true; }
   [[nodiscard]] std::unique_ptr<RequestSource> fork() const override {
     return std::make_unique<RouterSource>(*rules_, config_);
   }
 
-  /// One RouterMirrorSource per shard (see the header comment). `plan`
-  /// must be built over this source's rule tree and outlive the mirrors;
-  /// every element is a RouterMirrorSource, so callers that need per-shard
-  /// router statistics may downcast.
+  /// One producer-fed RouterMirrorSource per shard, all sharing a single
+  /// RouterEventProducer (see the header comment): generation runs once,
+  /// whatever the shard count. `plan` must be built over this source's
+  /// rule tree and outlive the mirrors; every element is a
+  /// RouterMirrorSource, so callers that need per-shard router statistics
+  /// may downcast.
   [[nodiscard]] std::vector<std::unique_ptr<RequestSource>> split(
       const engine::ShardPlan& plan) const override;
+  [[nodiscard]] SplitKind split_kind() const override {
+    return SplitKind::kShared;
+  }
 
   /// Event-loop statistics accumulated so far. `algorithm_cost` is left
   /// zero — the caller owns the algorithm and its cost.

@@ -27,9 +27,8 @@ FibScenarioResult run_fib_scenario(const fib::RuleTree& rules,
   // engine runs them through the outcome-feedback queues — we split here
   // rather than inside run() so the mirrors' router statistics survive
   // the run and can be aggregated into the result.
-  engine::ShardedEngine eng(
-      rules.tree, scenario.algorithm, scenario.params,
-      {.shards = scenario.shards, .threads = scenario.threads});
+  engine::ShardedEngine eng(rules.tree, scenario.algorithm, scenario.params,
+                            scenario.engine);
   fib::RouterSource source(rules,
                            fib_router_config(scenario.params, scenario.seed));
   FibScenarioResult out{.scenario = scenario, .router = {}};
@@ -63,8 +62,7 @@ std::vector<FibScenarioResult> run_fib_sweep(const fib::RuleTree& rules,
                                              const FibSweepAxes& axes,
                                              const Params& base,
                                              std::uint64_t seed,
-                                             std::size_t shards,
-                                             std::size_t threads) {
+                                             engine::EngineConfig engine) {
   TC_CHECK(!axes.algorithms.empty() && !axes.skews.empty() &&
                !axes.capacities.empty() && !axes.alphas.empty(),
            "every sweep axis needs at least one value");
@@ -91,8 +89,7 @@ std::vector<FibScenarioResult> run_fib_sweep(const fib::RuleTree& rules,
     FibScenario cell{.algorithm = axes.algorithms[i / points],
                      .params = base,
                      .seed = point_seeds[point],
-                     .shards = shards,
-                     .threads = threads};
+                     .engine = engine};
     cell.params.set("skew", util::format_double(axes.skews[skew_i]));
     cell.params.set("capacity",
                     std::to_string(axes.capacities[capacity_i]));
@@ -105,7 +102,7 @@ std::vector<FibScenarioResult> run_fib_sweep(const fib::RuleTree& rules,
   // ncores × (threads + 1) live threads. Cells are order-independent
   // (pre-derived per-point seeds), so running them in sequence changes
   // nothing but the thread count.
-  if (shards > 1 && threads != 1) {
+  if (engine.shards > 1 && engine.threads != 1) {
     std::vector<FibScenarioResult> out;
     out.reserve(cells);
     Rng unused(seed);

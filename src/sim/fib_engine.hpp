@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/sharded_engine.hpp"
 #include "fib/router_sim.hpp"
 #include "fib/rule_tree.hpp"
 #include "sim/registry.hpp"
@@ -27,13 +28,15 @@ struct FibScenario {
   std::string algorithm;   // AlgorithmRegistry key
   Params params;           // RIB + traffic + algorithm knobs, one bag
   std::uint64_t seed = 1;  // traffic seed ("rib-seed" seeds the table)
-  /// Engine geometry (not part of the scenario semantics — the line-card
-  /// model: each shard runs its own instance with the full capacity over
-  /// its top-level-prefix slice, fed by a per-shard router mirror). With
-  /// shards > 1 the closed loop runs through ShardedEngine::run_split;
-  /// results are bit-identical for every `threads` value.
-  std::size_t shards = 1;
-  std::size_t threads = 1;
+  /// Engine geometry, the full knob set — shards/threads/batch/feedback —
+  /// shared verbatim with the open-loop `treecache throughput` path (not
+  /// part of the scenario semantics; the line-card model: each shard runs
+  /// its own instance with the full capacity over its top-level-prefix
+  /// slice, fed by a per-shard router mirror off one shared event
+  /// producer). With shards > 1 the closed loop runs through
+  /// ShardedEngine::run_split; results are bit-identical for every
+  /// `threads`/`batch`/`feedback` value.
+  engine::EngineConfig engine;
 };
 
 struct FibScenarioResult {
@@ -73,11 +76,11 @@ struct FibSweepAxes {
 
 /// Cross product over `base` params, in parallel. All algorithms at one
 /// (skew, capacity, alpha) point share a traffic seed, so the sweep
-/// compares algorithms on identical packet streams. `shards`/`threads`
-/// set the engine geometry of every cell (CLI: `treecache fib --shards S
-/// --threads T`).
+/// compares algorithms on identical packet streams. `engine` sets the
+/// geometry of every cell (CLI: `treecache fib --shards S --threads T
+/// --batch B --feedback F`).
 [[nodiscard]] std::vector<FibScenarioResult> run_fib_sweep(
     const fib::RuleTree& rules, const FibSweepAxes& axes, const Params& base,
-    std::uint64_t seed, std::size_t shards = 1, std::size_t threads = 1);
+    std::uint64_t seed, engine::EngineConfig engine = {});
 
 }  // namespace treecache::sim

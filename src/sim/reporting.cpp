@@ -96,15 +96,19 @@ util::Json to_json(const FibScenarioResult& result) {
       .set("algorithm", result.scenario.algorithm)
       .set("seed", result.scenario.seed)
       .set("params", params_json(result.scenario.params))
-      // Geometry of the closed-loop run (fib/2): planned shard count and
-      // the workers actually used. Results are thread-count invariant;
-      // shards > 1 reports the line-card model's aggregate.
+      // Geometry of the closed-loop run (fib/2): planned shard count, the
+      // workers actually used, and the batching knobs. Results are
+      // invariant to threads/batch/feedback; shards > 1 reports the
+      // line-card model's aggregate.
       .set("engine",
            util::Json::object()
                .set("shards_requested",
-                    std::uint64_t{result.scenario.shards})
+                    std::uint64_t{result.scenario.engine.shards})
                .set("shards", std::uint64_t{result.shards})
-               .set("threads", std::uint64_t{result.threads}))
+               .set("threads", std::uint64_t{result.threads})
+               .set("batch", std::uint64_t{result.scenario.engine.batch})
+               .set("feedback",
+                    std::uint64_t{result.scenario.engine.feedback}))
       .set("result", util::Json::object()
                          .set("packets", r.packets)
                          .set("hits", r.hits)

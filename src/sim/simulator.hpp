@@ -93,9 +93,13 @@ inline void accumulate_outcome(RunResult& result, const Request& request,
 }
 
 /// The hot-path sink: accumulates every outcome into a RunResult and
-/// (when a source is attached) forwards the closed-loop feedback. This is
-/// what run_source hands to step_batch when no observer is set; the sharded
-/// engine attaches one per shard, without a source.
+/// (when a source is attached) forwards the closed-loop feedback through
+/// observe() — i.e. an observe_batch() of one, straight from the
+/// algorithm's scratch, no copies; sources must accept any feedback
+/// granularity. This is what run_source hands to step_batch when no
+/// observer is set; the sharded engine attaches one per shard, without a
+/// source (its threaded closed-loop path batches feedback through
+/// OutcomeBuffer rings instead — see engine/sharded_engine.hpp).
 class AccountingSink final : public OutcomeSink {
  public:
   AccountingSink(RunResult& result, const OnlineAlgorithm& alg,
@@ -124,9 +128,10 @@ using StepObserver =
 
 /// Runs the source to exhaustion from the algorithm's current state: pulls
 /// batches via RequestSource::fill, steps each request, and hands every
-/// StepOutcome back to source.observe() (closed-loop sources depend on
-/// this). Memory use is O(1) in the stream length. With no observer and no
-/// validation the run goes through the batched hot path; when
+/// StepOutcome back to the source's observe_batch() feedback (closed-loop
+/// sources depend on this). Memory use is O(1) in the stream length.
+/// With no observer and no validation the run goes through the batched
+/// hot path; when
 /// `validate_every_step` is set, the cache is checked to be a subforest
 /// after every round (O(n) per round — test-sized runs only).
 [[nodiscard]] RunResult run_source(OnlineAlgorithm& alg,

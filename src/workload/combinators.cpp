@@ -62,10 +62,11 @@ std::optional<std::uint64_t> ConcatSource::size_hint() const {
   return total;
 }
 
-void ConcatSource::observe(const StepOutcome& outcome) {
-  // All outcomes of a batch arrive before the next fill(), so they always
-  // belong to the part that is still active.
-  if (active_ < parts_.size()) parts_[active_]->observe(outcome);
+void ConcatSource::observe_batch(std::span<const StepOutcome> outcomes) {
+  // All outcomes of a batch arrive before the next fill(), and a fill
+  // never spans a part boundary, so the whole batch belongs to the part
+  // that is still active.
+  if (active_ < parts_.size()) parts_[active_]->observe_batch(outcomes);
 }
 
 MixSource::MixSource(std::vector<std::unique_ptr<RequestSource>> parts,
@@ -188,8 +189,8 @@ std::optional<std::uint64_t> ChurnInjectSource::size_hint() const {
   return *inner_hint + pending_ + chunks_ahead * alpha_;
 }
 
-void ChurnInjectSource::observe(const StepOutcome& outcome) {
-  inner_->observe(outcome);
+void ChurnInjectSource::observe_batch(std::span<const StepOutcome> outcomes) {
+  inner_->observe_batch(outcomes);
 }
 
 // Registry adapters. Parts resolve recursively through the registry with

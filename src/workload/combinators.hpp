@@ -17,8 +17,8 @@
 //                                        to a uniformly random node after
 //                                        every N inner requests.
 //
-// Feedback routing: concat forwards every observed StepOutcome to the
-// part that emitted the last batch (fill never spans a part boundary), and
+// Feedback routing: concat forwards every observed outcome batch to the
+// part that emitted the last fill (fill never spans a part boundary), and
 // churn-inject forwards every outcome — including those of its injected
 // requests — to the inner source, so a closed-loop inner keeps an accurate
 // view of the cache. mix interleaves parts per request, which cannot
@@ -36,7 +36,7 @@
 namespace treecache::workload {
 
 /// Plays each part to exhaustion, in order. fill() never spans a part
-/// boundary, so observe() can always route to the emitting part.
+/// boundary, so observe_batch() can always route to the emitting part.
 class ConcatSource final : public RequestSource {
  public:
   explicit ConcatSource(std::vector<std::unique_ptr<RequestSource>> parts);
@@ -44,7 +44,7 @@ class ConcatSource final : public RequestSource {
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override;
-  void observe(const StepOutcome& outcome) override;
+  void observe_batch(std::span<const StepOutcome> outcomes) override;
   /// Forks every part; nullptr if any part cannot fork.
   [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 
@@ -87,7 +87,7 @@ class ChurnInjectSource final : public RequestSource {
   [[nodiscard]] std::size_t fill(std::span<Request> buffer) override;
   void reset() override;
   [[nodiscard]] std::optional<std::uint64_t> size_hint() const override;
-  void observe(const StepOutcome& outcome) override;
+  void observe_batch(std::span<const StepOutcome> outcomes) override;
   /// Forks the inner source; nullptr if it cannot fork.
   [[nodiscard]] std::unique_ptr<RequestSource> fork() const override;
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -288,6 +289,76 @@ TEST(ShardedEngine, ResultsInvariantAcrossThreadCounts) {
       EXPECT_EQ(results[i].per_shard[s], results[0].per_shard[s])
           << "shard " << s << " threads run " << i;
     }
+  }
+}
+
+TEST(ShardedEngine, WarnsWhenSplitFallsBackToReplication) {
+  // An open-loop source whose split() merely forks the stream per shard
+  // (SplitKind::kReplicated) regenerates it S times; the engine says so
+  // on stderr. Shared-generation splits stay quiet.
+  const Tree tree = trees::complete_kary(3, 4);
+  const sim::Params params = engine_params();
+  {
+    engine::ShardedEngine eng(tree, "tc", params,
+                              {.shards = 4, .threads = 2});
+    const auto source = sim::make_source("zipf", tree, params, 7);
+    EXPECT_EQ(source->split_kind(), SplitKind::kReplicated);
+    testing::internal::CaptureStderr();
+    (void)eng.run(*source);
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "replicated generation"),
+              std::string::npos);
+  }
+  {
+    const sim::Params fib_params = smoke_params();
+    const fib::RuleTree rt = fib::rule_tree_from_params(fib_params);
+    engine::ShardedEngine eng(rt.tree, "tc", fib_params,
+                              {.shards = 4, .threads = 2});
+    fib::RouterSource closed(rt, fib::RouterSimConfig{.packets = 200});
+    EXPECT_EQ(closed.split_kind(), SplitKind::kShared);
+    testing::internal::CaptureStderr();
+    (void)eng.run(closed);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  }
+}
+
+/// Strips fork() (and with it the default split()) off an inner stream, so
+/// the engine's threaded split fast path cannot apply and it must fall
+/// back to demuxing on the caller's thread.
+class ForklessSource final : public RequestSource {
+ public:
+  explicit ForklessSource(std::unique_ptr<RequestSource> inner)
+      : inner_(std::move(inner)) {}
+  [[nodiscard]] std::size_t fill(std::span<Request> buffer) override {
+    return inner_->fill(buffer);
+  }
+  void reset() override { inner_->reset(); }
+
+ private:
+  std::unique_ptr<RequestSource> inner_;
+};
+
+TEST(ShardedEngine, ForklessOpenLoopSourceFallsBackToDemux) {
+  // No fork() means split() yields nothing; the threaded run must still
+  // succeed — via the demux path — and stay bit-identical to the split
+  // fast path the plain source takes.
+  const Tree tree = trees::complete_kary(4, 8);
+  const sim::Params params = engine_params();
+
+  engine::ShardedEngine eng(tree, "tc", params,
+                            {.shards = 8, .threads = 4, .batch = 256});
+  const auto plain = sim::make_source("zipf", tree, params, 23);
+  const engine::EngineResult via_split = eng.run(*plain);
+
+  ForklessSource forkless(sim::make_source("zipf", tree, params, 23));
+  EXPECT_TRUE(forkless.split(eng.plan()).empty());
+  const engine::EngineResult via_demux = eng.run(forkless);
+
+  EXPECT_EQ(via_demux.total, via_split.total);
+  ASSERT_EQ(via_demux.per_shard.size(), via_split.per_shard.size());
+  for (std::size_t s = 0; s < via_split.per_shard.size(); ++s) {
+    EXPECT_EQ(via_demux.per_shard[s], via_split.per_shard[s])
+        << "shard " << s;
   }
 }
 

@@ -10,10 +10,13 @@
 // replay a failure), and CI runs the suite under both ASan and TSan.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "core/outcome_buffer.hpp"
 
 #include "engine/shard_plan.hpp"
 #include "engine/sharded_engine.hpp"
@@ -224,6 +227,116 @@ TEST(ClosedLoopSharding, StatelessAlgorithmAggregateIsShardCountInvariant) {
   }
 }
 
+// --- Shared generation & the batched feedback API -------------------------
+
+TEST(ClosedLoopSharding, ProducerPartitionsTheGlobalEventStream) {
+  // The stable-partition property of shared generation: event by event, a
+  // sharded producer emits exactly the unsharded global stream — same
+  // order, same kinds, same payloads — with each event routed to exactly
+  // one queue, the one of the shard owning its full-table match.
+  for (const TrafficShape& shape : kShapes) {
+    sim::Params params = diff_params(shape);
+    const fib::RuleTree rules = fib::rule_tree_from_params(params);
+    const fib::RouterSimConfig router = sim::fib_router_config(params, 21);
+    const engine::ShardPlan global_plan(rules.tree, 1);
+
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::string(shape.name) + " x " + std::to_string(shards) +
+                   " shards");
+      const engine::ShardPlan plan(rules.tree, shards);
+      fib::RouterEventProducer global(rules, router, global_plan);
+      fib::RouterEventProducer sharded(rules, router, plan);
+
+      std::uint64_t events = 0;
+      while (true) {
+        const std::size_t generated = global.pump(1);
+        ASSERT_EQ(sharded.pump(1), generated);
+        if (generated == 0) break;
+        ASSERT_TRUE(global.has_event(0));
+        const fib::RouterEvent expected = global.pop(0);
+        const std::size_t owner = plan.shard_of(expected.node);
+        // Exactly one queue grew, and it is the owner's.
+        std::size_t buffered = 0;
+        for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+          buffered += sharded.buffered(s);
+        }
+        ASSERT_EQ(buffered, 1u) << "event " << events;
+        ASSERT_TRUE(sharded.has_event(owner)) << "event " << events;
+        const fib::RouterEvent got = sharded.pop(owner);
+        ASSERT_EQ(got.kind, expected.kind) << "event " << events;
+        ASSERT_EQ(got.node, expected.node) << "event " << events;
+        ASSERT_EQ(got.addr, expected.addr) << "event " << events;
+        ++events;
+      }
+      EXPECT_TRUE(global.exhausted());
+      EXPECT_TRUE(sharded.exhausted());
+      EXPECT_GT(events, 0u);
+    }
+  }
+}
+
+TEST(ClosedLoopSharding, ObserveBatchEqualsPerOutcomeObserve) {
+  // Chunk-granularity feedback must be invisible to the closed loop: a
+  // source fed one observe_batch per fill()-chunk stays in request-level
+  // lockstep with a twin fed every outcome individually through the
+  // scalar observe() forwarder, for the whole source and for every shard
+  // mirror. The batched side buffers its outcomes through an
+  // OutcomeBuffer, exactly as the engine's feedback rings do.
+  sim::Params params = diff_params(kShapes[1]);
+  const fib::RuleTree rules = fib::rule_tree_from_params(params);
+  const fib::RouterSimConfig router = sim::fib_router_config(params, 33);
+
+  const auto drive = [&params](RequestSource& unit, RequestSource& batched,
+                               const Tree& tree) {
+    const auto alg_scalar = sim::make_algorithm("tc", tree, params);
+    const auto alg_batched = sim::make_algorithm("tc", tree, params);
+    std::array<Request, 64> buf_scalar{};
+    std::array<Request, 64> buf_batched{};
+    OutcomeBuffer chunk;
+    std::uint64_t requests = 0;
+    while (true) {
+      const std::size_t n = unit.fill(buf_scalar);
+      ASSERT_EQ(batched.fill(buf_batched), n);
+      if (n == 0) break;
+      chunk.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(buf_batched[i], buf_scalar[i]) << "request " << requests + i;
+        unit.observe(alg_scalar->step(buf_scalar[i]));
+        chunk.append(alg_batched->step(buf_batched[i]));
+      }
+      batched.observe_batch(chunk.views());
+      requests += n;
+    }
+    ASSERT_GT(requests, 0u);
+  };
+
+  const auto expect_equal_stats = [](const fib::RouterSimResult& got,
+                                     const fib::RouterSimResult& want) {
+    EXPECT_EQ(got.packets, want.packets);
+    EXPECT_EQ(got.hits, want.hits);
+    EXPECT_EQ(got.misses, want.misses);
+    EXPECT_EQ(got.updates, want.updates);
+    EXPECT_EQ(got.cached_updates, want.cached_updates);
+    EXPECT_EQ(got.forwarding_errors, want.forwarding_errors);
+  };
+
+  {
+    SCOPED_TRACE("RouterSource");
+    fib::RouterSource unit(rules, router);
+    fib::RouterSource batched(rules, router);
+    drive(unit, batched, rules.tree);
+    expect_equal_stats(batched.stats(), unit.stats());
+  }
+  const engine::ShardPlan plan(rules.tree, 4);
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    SCOPED_TRACE("mirror shard " + std::to_string(s));
+    fib::RouterMirrorSource unit(rules, router, plan, s);
+    fib::RouterMirrorSource batched(rules, router, plan, s);
+    drive(unit, batched, plan.shard_tree(s));
+    expect_equal_stats(batched.stats(), unit.stats());
+  }
+}
+
 // --- The fib scenario layer ----------------------------------------------
 
 TEST(ClosedLoopSharding, ShardedFibScenarioAggregatesMirrorStats) {
@@ -232,12 +345,11 @@ TEST(ClosedLoopSharding, ShardedFibScenarioAggregatesMirrorStats) {
   const sim::FibScenario scenario{.algorithm = "tc",
                                   .params = params,
                                   .seed = 7,
-                                  .shards = 4,
-                                  .threads = 2};
+                                  .engine = {.shards = 4, .threads = 2}};
   const sim::FibScenarioResult got = sim::run_fib_scenario(rules, scenario);
   ASSERT_GT(got.shards, 1u);
 
-  const engine::ShardPlan plan(rules.tree, scenario.shards);
+  const engine::ShardPlan plan(rules.tree, scenario.engine.shards);
   const Reference ref = sequential_reference(
       rules, plan, "tc", params, sim::fib_router_config(params, 7));
   fib::RouterSimResult expected;
@@ -257,7 +369,7 @@ TEST(ClosedLoopSharding, ShardedFibScenarioAggregatesMirrorStats) {
 
   // Scenario-level thread invariance.
   sim::FibScenario single_threaded = scenario;
-  single_threaded.threads = 1;
+  single_threaded.engine.threads = 1;
   const sim::FibScenarioResult again =
       sim::run_fib_scenario(rules, single_threaded);
   EXPECT_EQ(again.router.hits, got.router.hits);

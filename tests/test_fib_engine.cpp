@@ -91,7 +91,8 @@ TEST(FibEngine, UnifiedDriverMatchesReferenceRouterSim) {
             rt, *reference_alg, sim::fib_router_config(params, seed));
 
         const auto unified = sim::run_fib_scenario(
-            rt, {.algorithm = algorithm, .params = params, .seed = seed});
+            rt, {.algorithm = algorithm, .params = params, .seed = seed,
+                 .engine = {}});
 
         EXPECT_EQ(unified.router.packets, reference.packets);
         EXPECT_EQ(unified.router.hits, reference.hits);
@@ -108,7 +109,8 @@ TEST(FibEngine, UnifiedDriverMatchesReferenceRouterSim) {
 
 TEST(FibEngine, ScenarioRunsEndToEndThroughRegistry) {
   sim::FibScenario scenario{
-      .algorithm = "tc", .params = small_fib_params(), .seed = 11};
+      .algorithm = "tc", .params = small_fib_params(), .seed = 11,
+      .engine = {}};
   scenario.params.set("skew", "1.1");
   scenario.params.set("update-prob", "0.02");
   const auto result = sim::run_fib_scenario(scenario);
@@ -201,7 +203,8 @@ TEST(Reporting, JsonDocumentsCarrySchemas) {
   EXPECT_NE(run_text.find("\"wall_seconds\""), std::string::npos);
   EXPECT_NE(run_text.find("\"requests_per_second\""), std::string::npos);
 
-  sim::FibScenario scenario{.algorithm = "tc", .params = base, .seed = 2};
+  sim::FibScenario scenario{
+      .algorithm = "tc", .params = base, .seed = 2, .engine = {}};
   const auto fib_cells =
       std::vector<sim::FibScenarioResult>{sim::run_fib_scenario(rt, scenario)};
   const std::string fib_text = sim::fib_sweep_json(fib_cells).dump();

@@ -14,7 +14,9 @@
 
 #include "engine/shard_plan.hpp"
 #include "fib/fib_workloads.hpp"
+#include "fib/router_source.hpp"
 #include "fib/traffic.hpp"
+#include "sim/fib_engine.hpp"
 #include "sim/registry.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -155,6 +157,11 @@ TEST(RegisteredWorkloads, SplitPartitionsEveryStreamByShard) {
     const Trace whole = materialize(*source);
     ASSERT_FALSE(whole.empty());
 
+    // A shardable stream must say so: split_kind() is the engine's
+    // dispatch signal, and "unsplittable" from a workload whose split()
+    // works would silently refuse multi-shard runs.
+    EXPECT_NE(source->split_kind(), SplitKind::kUnsplittable);
+
     // Splitting AFTER the parent was drained: parts replay from round one
     // regardless of the parent's position.
     const auto parts = source->split(plan);
@@ -178,6 +185,30 @@ TEST(RegisteredWorkloads, SplitPartitionsEveryStreamByShard) {
     // Conservation: nothing dropped, nothing double-routed.
     EXPECT_EQ(total, whole.size());
   }
+}
+
+TEST(RegisteredWorkloads, SplitKindAdvisesHowEachSourceScalesOut) {
+  // Open-loop sources default to fork-per-shard replication...
+  TraceSource open(ones(3, 1));
+  EXPECT_EQ(open.split_kind(), SplitKind::kReplicated);
+
+  // ...a closed loop without a split() override is honest about being
+  // unshardable...
+  class ClosedStub final : public RequestSource {
+   public:
+    [[nodiscard]] std::size_t fill(std::span<Request>) override { return 0; }
+    void reset() override {}
+    [[nodiscard]] bool is_closed_loop() const override { return true; }
+  };
+  ClosedStub closed;
+  EXPECT_EQ(closed.split_kind(), SplitKind::kUnsplittable);
+
+  // ...and the fib router advertises shared generation: one producer
+  // feeding every shard mirror instead of S replicated streams.
+  const sim::Params params = smoke_params();
+  const fib::RuleTree rt = fib::rule_tree_from_params(params);
+  const fib::RouterSource source(rt, sim::fib_router_config(params, 5));
+  EXPECT_EQ(source.split_kind(), SplitKind::kShared);
 }
 
 TEST(RegisteredWorkloads, StreamedAndMaterializedRunsAreIdentical) {

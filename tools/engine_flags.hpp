@@ -1,0 +1,30 @@
+// Shared engine-geometry CLI knobs: --shards / --threads / --batch /
+// --feedback. Every subcommand that runs the sharded engine (`treecache
+// throughput`, `treecache fib`) parses them through this one helper, so
+// the knob set, spellings and defaults can never drift between them.
+#pragma once
+
+#include "engine/sharded_engine.hpp"
+#include "tools/flags.hpp"
+
+namespace treecache::tools {
+
+/// The engine knob keys, for params_from-style drop lists: they
+/// parameterize the engine, never the scenario, so they must not leak
+/// into the params echoed by --json documents.
+inline constexpr const char* kEngineFlagKeys[] = {"shards", "threads",
+                                                 "batch", "feedback"};
+
+/// Engine geometry from the shared flags, with EngineConfig's own
+/// defaults for anything not given.
+[[nodiscard]] inline engine::EngineConfig engine_config_from(
+    const Flags& flags) {
+  const engine::EngineConfig defaults{};
+  return engine::EngineConfig{
+      .shards = flags.get_u64("shards", defaults.shards),
+      .threads = flags.get_u64("threads", defaults.threads),
+      .batch = flags.get_u64("batch", defaults.batch),
+      .feedback = flags.get_u64("feedback", defaults.feedback)};
+}
+
+}  // namespace treecache::tools

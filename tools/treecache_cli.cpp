@@ -27,9 +27,10 @@
 //              [--seed S] [--validate] [--json out.json]
 //   throughput sharded-engine run (engine/sharded_engine.hpp): --tree
 //              tree.txt|fib --algo <algorithm> [--workload <w>|--trace f]
-//              [--shards S] [--threads N] [--batch B] [--seed S]
-//              [--json out.json]; aggregate costs are identical for every
-//              --threads value (per-shard routing is deterministic)
+//              [--shards S] [--threads N] [--batch B] [--feedback F]
+//              [--seed S] [--json out.json]; aggregate costs are
+//              identical for every --threads value (per-shard routing is
+//              deterministic)
 //   sweep      --tree tree.txt --algos a,b,... --workloads w1,w2,...
 //              [shared params] [--seed S] [--json out.json]
 //   fib        closed-loop router simulation (switch + controller) on a
@@ -37,10 +38,11 @@
 //              --capacities 64,256 --alphas 8,32 [--packets N]
 //              [--update-prob P] [--rules N] [--deagg D] [--max-len L]
 //              [--rib-seed S] [--seed S] [--shards S] [--threads N]
-//              [--json out.json]; --shards > 1 runs the closed loop
-//              sharded by top-level prefix (per-shard router mirrors fed
-//              by per-shard outcome queues); results are bit-identical
-//              for every --threads value
+//              [--batch B] [--feedback F] [--json out.json]; --shards > 1
+//              runs the closed loop sharded by top-level prefix
+//              (per-shard router mirrors off one shared event producer,
+//              fed back through per-shard outcome rings); results are
+//              bit-identical for every --threads/--batch/--feedback value
 //   opt        --tree tree.txt --trace trace.txt --alpha A --capacity K
 //              [--evaluator opt|static]
 //   fields     --tree tree.txt --trace trace.txt --alpha A --capacity K
@@ -58,6 +60,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 
 #include "analysis/opt_bound.hpp"
@@ -73,6 +76,7 @@
 #include "sim/reporting.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
+#include "tools/engine_flags.hpp"
 #include "tools/flags.hpp"
 #include "tree/tree_builder.hpp"
 #include "tree/tree_io.hpp"
@@ -96,7 +100,7 @@ int usage() {
 /// them out makes the params echoed into --json documents byte-identical
 /// across output paths.
 sim::Params params_from(const Flags& flags,
-                        std::initializer_list<const char*> extra_drop = {}) {
+                        std::span<const char* const> extra_drop = {}) {
   auto values = flags.all();
   for (const char* key : {"json", "out", "tree", "trace", "validate"}) {
     values.erase(key);
@@ -334,16 +338,12 @@ int cmd_run(const Flags& flags) {
 
 int cmd_throughput(const Flags& flags) {
   const Tree tree = load_tree(flags);
-  // shards/threads/batch parameterize the engine, not the scenario: drop
-  // them so two runs that differ only in engine geometry echo identical
+  // The engine knobs parameterize the engine, not the scenario: drop them
+  // so two runs that differ only in engine geometry echo identical
   // scenario params (their costs are identical too — that is the contract).
-  const sim::Params params = params_from(flags, {"shards", "threads",
-                                                 "batch"});
+  const sim::Params params = params_from(flags, kEngineFlagKeys);
   const std::string name = flags.get("algo", flags.get("alg", "tc"));
-  const engine::EngineConfig config{
-      .shards = flags.get_u64("shards", 1),
-      .threads = flags.get_u64("threads", 1),
-      .batch = flags.get_u64("batch", sim::kDriverBatchSize)};
+  const engine::EngineConfig config = engine_config_from(flags);
 
   TC_CHECK(!(flags.has("trace") && flags.has("workload")),
            "--trace and --workload are mutually exclusive");
@@ -443,13 +443,13 @@ int cmd_sweep(const Flags& flags) {
 }
 
 int cmd_fib(const Flags& flags) {
-  // shards/threads parameterize the engine, not the scenario: two runs
-  // that differ only in geometry echo identical scenario params (and the
+  // The same engine knob set as `throughput`, parsed by the same helper:
+  // the knobs parameterize the engine, not the scenario, so two runs that
+  // differ only in geometry echo identical scenario params (and the
   // per-shard results are identical for every --threads value).
-  const sim::Params params = params_from(flags, {"shards", "threads"});
+  const sim::Params params = params_from(flags, kEngineFlagKeys);
   const fib::RuleTree rules = fib::rule_tree_from_params(params);
-  const std::size_t shards = flags.get_u64("shards", 1);
-  const std::size_t threads = flags.get_u64("threads", 1);
+  const engine::EngineConfig engine = engine_config_from(flags);
   std::cerr << "rule tree: " << rules.tree.size() << " nodes, height "
             << rules.tree.height() << "\n";
 
@@ -464,11 +464,10 @@ int cmd_fib(const Flags& flags) {
       flags.get("alphas", flags.get("alpha", "16")));
 
   const auto cells = sim::run_fib_sweep(rules, axes, params,
-                                        flags.get_u64("seed", 1), shards,
-                                        threads);
+                                        flags.get_u64("seed", 1), engine);
   if (!cells.empty() && cells.front().shards > 1) {
     std::cerr << "engine: " << cells.front().shards << " shards ("
-              << shards << " requested), " << cells.front().threads
+              << engine.shards << " requested), " << cells.front().threads
               << " worker threads per cell\n";
   }
   ConsoleTable table({"algorithm", "skew", "capacity", "alpha", "hit rate",
