@@ -4,9 +4,12 @@
 // source sharded into per-shard mirrors with outcome feedback queues.
 // Open-loop rows share one Zipf stream over a tree with eight equal
 // top-level subtrees; closed-loop rows run the router event loop on a
-// synthetic RIB. Identical seed per mode, best of TREECACHE_BENCH_REPS
-// repetitions; emits BENCH_throughput.json when TREECACHE_BENCH_JSON_DIR
-// is set (the CI perf artifact).
+// synthetic RIB. The tc-batched layout pairs rerun the fib workload with
+// TC's frozen NodeId-keyed state (tc-legacy) next to the preorder SoA
+// (tc) at 1x1 and 8xN — same costs bit for bit, only requests/sec moves.
+// Identical seed per mode, best of TREECACHE_BENCH_REPS repetitions; emits
+// BENCH_throughput.json when TREECACHE_BENCH_JSON_DIR is set (the CI perf
+// artifact).
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -33,6 +36,14 @@ struct Mode {
   std::size_t threads = 1;  // 0 = one worker per shard (hardware-capped)
   bool observer = false;    // force the per-round observer slow path
   bool closed_loop = false;  // FIB router source instead of the Zipf stream
+  std::string algo = "tc";   // registry name the mode runs
+  // Layout-comparison rows (the tc-batched pairs): "nodeid" is the frozen
+  // pre-SoA baseline (tc-legacy), "preorder-soa" the preorder-indexed
+  // NodeState layout. Empty for the trajectory rows. A layout row's
+  // speedup column compares against the nodeid row of the same geometry,
+  // so it reads as the layout win directly.
+  std::string layout{};
+  std::string baseline{};  // mode name the speedup column divides by
 };
 
 struct Sample {
@@ -44,7 +55,7 @@ Sample run_mode(const Mode& mode, const Tree& tree,
                 const sim::Params& params, std::uint64_t seed) {
   const auto source = sim::make_source("zipf", tree, params, seed);
   if (mode.shards == 1) {
-    const auto alg = sim::make_algorithm("tc", tree, params);
+    const auto alg = sim::make_algorithm(mode.algo, tree, params);
     if (mode.observer) {
       // The pre-batching driver shape: a live (no-op) observer forces the
       // scalar loop with its per-round std::function dispatch.
@@ -58,7 +69,7 @@ Sample run_mode(const Mode& mode, const Tree& tree,
     return {sim::run_source(*alg, *source), 1};
   }
   engine::ShardedEngine eng(
-      tree, "tc", params,
+      tree, mode.algo, params,
       {.shards = mode.shards, .threads = mode.threads, .batch = 4096});
   const engine::EngineResult result = eng.run(*source);
   return {result.total, result.threads};
@@ -67,7 +78,7 @@ Sample run_mode(const Mode& mode, const Tree& tree,
 Sample run_closed_loop_mode(const Mode& mode, const fib::RuleTree& rules,
                             const sim::Params& params, std::uint64_t seed) {
   engine::ShardedEngine eng(
-      rules.tree, "tc", params,
+      rules.tree, mode.algo, params,
       {.shards = mode.shards, .threads = mode.threads});
   fib::RouterSource source(rules, sim::fib_router_config(params, seed));
   const engine::EngineResult result = eng.run(source);
@@ -122,16 +133,61 @@ int main() {
   fib_params.set("packets", std::to_string(sim::bench_scaled(400000)));
   const fib::RuleTree rules = fib::rule_tree_from_params(fib_params);
 
+  // Each workload family measures against ITS single-thread row: open-loop
+  // rows against the batched Zipf driver, fib-closed rows against the
+  // unsharded router loop — a closed-loop "speedup" vs an open-loop
+  // baseline would compare different substrates and mean nothing. The
+  // tc-batched layout pairs compare against the nodeid row of the SAME
+  // geometry: their speedup column is the memory-layout win in isolation.
   const std::vector<Mode> modes{
-      {.name = "scalar+observer", .observer = true},
-      {.name = "single-thread", .shards = 1},
-      {.name = "sharded-8x1", .shards = 8, .threads = 1},
-      {.name = "sharded-8xN", .shards = 8, .threads = 0},
-      {.name = "fib-closed-1x1", .shards = 1, .closed_loop = true},
+      {.name = "scalar+observer",
+       .observer = true,
+       .baseline = "single-thread"},
+      {.name = "single-thread", .shards = 1, .baseline = "single-thread"},
+      {.name = "sharded-8x1",
+       .shards = 8,
+       .threads = 1,
+       .baseline = "single-thread"},
+      {.name = "sharded-8xN",
+       .shards = 8,
+       .threads = 0,
+       .baseline = "single-thread"},
+      {.name = "fib-closed-1x1",
+       .shards = 1,
+       .closed_loop = true,
+       .baseline = "fib-closed-1x1"},
       {.name = "fib-closed-8xN",
        .shards = 8,
        .threads = 0,
-       .closed_loop = true},
+       .closed_loop = true,
+       .baseline = "fib-closed-1x1"},
+      // Before/after layout rows: TC batched on the fib workload, same
+      // geometry, only the per-node state layout differs (tc-legacy keeps
+      // the frozen NodeId-keyed arrays; tc runs the preorder SoA).
+      {.name = "tc-batched-nodeid-1x1",
+       .shards = 1,
+       .closed_loop = true,
+       .algo = "tc-legacy",
+       .layout = "nodeid",
+       .baseline = "tc-batched-nodeid-1x1"},
+      {.name = "tc-batched-soa-1x1",
+       .shards = 1,
+       .closed_loop = true,
+       .layout = "preorder-soa",
+       .baseline = "tc-batched-nodeid-1x1"},
+      {.name = "tc-batched-nodeid-8xN",
+       .shards = 8,
+       .threads = 0,
+       .closed_loop = true,
+       .algo = "tc-legacy",
+       .layout = "nodeid",
+       .baseline = "tc-batched-nodeid-8xN"},
+      {.name = "tc-batched-soa-8xN",
+       .shards = 8,
+       .threads = 0,
+       .closed_loop = true,
+       .layout = "preorder-soa",
+       .baseline = "tc-batched-nodeid-8xN"},
   };
 
   // Measure everything first: the single-thread baseline row itself gets a
@@ -149,48 +205,41 @@ int main() {
       }
     }
   }
-  // Each workload family measures against ITS single-thread row: open-loop
-  // rows against the batched Zipf driver, fib-closed rows against the
-  // unsharded router loop — a closed-loop "speedup" vs an open-loop
-  // baseline would compare different substrates and mean nothing.
-  double open_loop_rps = 0.0;
-  double closed_loop_rps = 0.0;
-  for (std::size_t m = 0; m < modes.size(); ++m) {
-    if (modes[m].name == "single-thread") {
-      open_loop_rps = best[m].result.requests_per_second();
+  const auto rps_of = [&](const std::string& name) {
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      if (modes[m].name == name) return best[m].result.requests_per_second();
     }
-    if (modes[m].name == "fib-closed-1x1") {
-      closed_loop_rps = best[m].result.requests_per_second();
-    }
-  }
+    return 0.0;
+  };
 
-  ConsoleTable table({"mode", "shards", "threads", "total cost", "wall s",
-                      "Mreq/s", "vs 1-thread"});
+  ConsoleTable table({"mode", "algo", "shards", "threads", "total cost",
+                      "wall s", "Mreq/s", "vs baseline"});
   util::Json json_rows = util::Json::array();
   for (std::size_t m = 0; m < modes.size(); ++m) {
     const Mode& mode = modes[m];
     const double rps = best[m].result.requests_per_second();
-    const double baseline_rps =
-        mode.closed_loop ? closed_loop_rps : open_loop_rps;
+    const double baseline_rps = rps_of(mode.baseline);
     const double speedup = baseline_rps > 0.0 ? rps / baseline_rps : 0.0;
-    table.add_row({mode.name, ConsoleTable::fmt(std::uint64_t{mode.shards}),
+    table.add_row({mode.name, mode.algo,
+                   ConsoleTable::fmt(std::uint64_t{mode.shards}),
                    ConsoleTable::fmt(std::uint64_t{best[m].threads}),
                    ConsoleTable::fmt(best[m].result.cost.total()),
                    ConsoleTable::fmt(best[m].result.wall_seconds, 3),
                    ConsoleTable::fmt(rps / 1e6, 2),
                    ConsoleTable::fmt(speedup, 2) + "x"});
-    json_rows.push(util::Json::object()
-                       .set("mode", mode.name)
-                       .set("shards", std::uint64_t{mode.shards})
-                       .set("threads", std::uint64_t{best[m].threads})
-                       .set("rounds", best[m].result.rounds)
-                       .set("total_cost", best[m].result.cost.total())
-                       .set("wall_seconds", best[m].result.wall_seconds)
-                       .set("requests_per_second", rps)
-                       .set("baseline_mode", mode.closed_loop
-                                                 ? "fib-closed-1x1"
-                                                 : "single-thread")
-                       .set("speedup_vs_baseline", speedup));
+    util::Json row = util::Json::object()
+                         .set("mode", mode.name)
+                         .set("algo", mode.algo)
+                         .set("shards", std::uint64_t{mode.shards})
+                         .set("threads", std::uint64_t{best[m].threads})
+                         .set("rounds", best[m].result.rounds)
+                         .set("total_cost", best[m].result.cost.total())
+                         .set("wall_seconds", best[m].result.wall_seconds)
+                         .set("requests_per_second", rps)
+                         .set("baseline_mode", mode.baseline)
+                         .set("speedup_vs_baseline", speedup);
+    if (!mode.layout.empty()) row.set("layout", mode.layout);
+    json_rows.push(std::move(row));
   }
   table.print();
   const std::string json_path =
@@ -206,6 +255,9 @@ int main() {
       "generates the event stream once and feeds per-shard mirrors, whose "
       "outcomes flow back through batched per-shard rings — so the sharded "
       "closed loop pays one generation pass plus parallel stepping, and "
-      "should beat the 1x1 row whenever spare cores exist");
+      "should beat the 1x1 row whenever spare cores exist. The tc-batched "
+      "pairs isolate the memory layout: nodeid is the frozen pre-SoA "
+      "TreeCache, preorder-soa the flat NodeState block — identical "
+      "decisions, so the speedup column is pure locality");
   return 0;
 }

@@ -18,6 +18,7 @@ void LocalTc::reset() {
   cost_ = Cost{};
   std::fill(cnt_.begin(), cnt_.end(), std::uint64_t{0});
   changeset_.clear();
+  missing_buf_.clear();
 }
 
 StepOutcome LocalTc::step(Request request) {
@@ -33,12 +34,13 @@ StepOutcome LocalTc::handle_positive(NodeId v) {
   ++cost_.service;
   ++cnt_[v];
 
-  const auto missing = cache_.missing_subtree(v);
+  cache_.missing_subtree(v, missing_buf_);
+  const auto& missing = missing_buf_;
   if (cnt_[v] < missing.size() * config_.alpha) return out;
 
   if (cache_.size() + missing.size() > config_.capacity) {
     // Restart: evict everything, reset all counters.
-    changeset_ = cache_.as_vector();
+    cache_.as_vector(changeset_);
     std::sort(changeset_.begin(), changeset_.end(), [&](NodeId a, NodeId b) {
       return tree_->depth(a) < tree_->depth(b);
     });
@@ -51,7 +53,7 @@ StepOutcome LocalTc::handle_positive(NodeId v) {
     return out;
   }
 
-  changeset_ = missing;
+  changeset_.assign(missing.begin(), missing.end());
   for (auto it = changeset_.rbegin(); it != changeset_.rend(); ++it) {
     cache_.insert(*it);
     cnt_[*it] = 0;

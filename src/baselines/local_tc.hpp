@@ -47,6 +47,7 @@ class LocalTc final : public OnlineAlgorithm {
   Cost cost_;
   std::vector<std::uint64_t> cnt_;
   std::vector<NodeId> changeset_;
+  std::vector<NodeId> missing_buf_;  // reused P_t(v) buffer
 };
 
 }  // namespace treecache

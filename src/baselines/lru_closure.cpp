@@ -23,6 +23,8 @@ void LruClosure::reset() {
   std::fill(recency_.begin(), recency_.end(), std::uint64_t{0});
   changeset_.clear();
   evict_buf_.clear();
+  missing_buf_.clear();
+  roots_buf_.clear();
 }
 
 StepOutcome LruClosure::step(Request request) {
@@ -41,7 +43,8 @@ void LruClosure::evict_one_root(NodeId protect) {
   // negative changeset); prefer victims outside T(protect) so an imminent
   // fetch into that subtree does not immediately refetch them. Children of
   // the victim become roots inheriting its recency.
-  const auto roots = cache_.maximal_roots();
+  cache_.maximal_roots(roots_buf_);
+  const auto& roots = roots_buf_;
   TC_CHECK(!roots.empty(), "evict_one_root on an empty cache");
   NodeId victim = kNoNode;
   for (const NodeId r : roots) {
@@ -78,10 +81,11 @@ StepOutcome LruClosure::handle_positive(NodeId v) {
   // Evictions can land inside T(v) (growing the missing closure), so the
   // closure is recomputed until the fetch fits. Each eviction shrinks the
   // cache, so this terminates.
-  auto missing = cache_.missing_subtree(v);
+  cache_.missing_subtree(v, missing_buf_);
+  const auto& missing = missing_buf_;
   while (cache_.size() + missing.size() > config_.capacity) {
     evict_one_root(v);
-    missing = cache_.missing_subtree(v);
+    cache_.missing_subtree(v, missing_buf_);
   }
   changeset_.clear();
   for (auto it = missing.rbegin(); it != missing.rend(); ++it) {

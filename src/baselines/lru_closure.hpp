@@ -60,6 +60,8 @@ class LruClosure final : public OnlineAlgorithm {
   std::vector<std::uint64_t> recency_;  // per maximal root; 0 = unused
   std::vector<NodeId> changeset_;
   std::vector<NodeId> evict_buf_;
+  std::vector<NodeId> missing_buf_;  // reused P(v) buffer
+  std::vector<NodeId> roots_buf_;    // reused maximal-roots buffer
 };
 
 }  // namespace treecache

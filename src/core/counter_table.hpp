@@ -52,6 +52,11 @@ class EpochArray {
     }
   }
 
+  /// Test seam: forces the epoch counter so the clear-on-wrap branch of
+  /// reset_all() is reachable without 2^32 calls.
+  void debug_set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  [[nodiscard]] std::uint32_t debug_epoch() const { return epoch_; }
+
  private:
   std::vector<T> value_;
   std::vector<std::uint32_t> stamp_;

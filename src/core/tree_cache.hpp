@@ -23,12 +23,23 @@
 //    H_t(u) = argmax val_t over tree caps rooted at u, where
 //    val_t(A) = cnt_t(A) − |A|·α + |A|/(|T|+1). We store val in exact
 //    integer form (I, S) = (cnt(H)−|H|·α, |H|); val(H(u)) > 0 ⇔ I(u) ≥ 0.
+//
+// Memory layout: all per-node state lives in a preorder-indexed NodeState
+// SoA block (core/node_state.hpp). Requests are translated NodeId → rank
+// once on entry, the whole round runs in rank coordinates (ancestor walks
+// via Tree::preorder_parent, subtree collections as contiguous slice scans
+// with subtree-skip jumps, child enumeration as first-child r+1 / next-
+// sibling c+size(c)), and changesets are translated back rank → NodeId once
+// on exit. A NodeId-keyed Subforest mirror is kept in step for the public
+// cache() view; it is written only on changesets, never read on the hot
+// path. The pre-SoA layout survives as LegacyTreeCache ("tc-legacy") for
+// before/after benchmarking and differential testing.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "core/counter_table.hpp"
+#include "core/node_state.hpp"
 #include "core/online_algorithm.hpp"
 #include "tree/tree.hpp"
 
@@ -73,7 +84,9 @@ class TreeCache final : public OnlineAlgorithm {
   [[nodiscard]] std::uint64_t round() const { return round_; }
 
   /// Per-node counter value (for tests and instrumentation).
-  [[nodiscard]] std::uint64_t counter(NodeId v) const { return cnt_.get(v); }
+  [[nodiscard]] std::uint64_t counter(NodeId v) const {
+    return state_.counter(tree_->preorder_index(v));
+  }
 
   /// Completed and current phases, in order. The last entry is the open
   /// (possibly unfinished) phase.
@@ -87,69 +100,80 @@ class TreeCache final : public OnlineAlgorithm {
   [[nodiscard]] std::uint64_t work() const { return work_; }
 
   // --- white-box accessors used by the test suite ---------------------
+  // Keyed by NodeId for the tests' convenience; they translate to rank.
   /// cnt_t(P_t(u)); meaningful only for non-cached u.
-  [[nodiscard]] std::int64_t debug_pcnt(NodeId u) const { return pcnt_.get(u); }
+  [[nodiscard]] std::int64_t debug_pcnt(NodeId u) const {
+    return state_.pcnt(tree_->preorder_index(u));
+  }
   /// |P_t(u)|; meaningful only for non-cached u.
   [[nodiscard]] std::uint32_t debug_psize(NodeId u) const {
-    return tree_->subtree_size(u) - cached_below_.get(u);
+    return tree_->subtree_size(u) -
+           state_.cached_below(tree_->preorder_index(u));
   }
   /// I(u) = cnt(H(u)) − |H(u)|·α; meaningful only for cached u.
-  [[nodiscard]] std::int64_t debug_hI(NodeId u) const { return h_value_[u]; }
+  [[nodiscard]] std::int64_t debug_hI(NodeId u) const {
+    return state_.neg(tree_->preorder_index(u)).value;
+  }
   /// S(u) = |H(u)|; meaningful only for cached u.
-  [[nodiscard]] std::uint64_t debug_hS(NodeId u) const { return h_size_[u]; }
+  [[nodiscard]] std::uint64_t debug_hS(NodeId u) const {
+    return state_.neg(tree_->preorder_index(u)).size;
+  }
 
  private:
-  StepOutcome handle_positive(NodeId v);
-  StepOutcome handle_negative(NodeId v);
+  StepOutcome handle_positive(std::uint32_t rv);
+  StepOutcome handle_negative(std::uint32_t rv);
 
-  /// Fetches X = P_t(u) (already collected in changeset_, preorder);
-  /// cnt_x is the counter mass X carried before the resets.
-  void apply_fetch(NodeId u, std::uint64_t cnt_x);
-  /// Evicts H(u) (already collected in changeset_, preorder).
-  void apply_evict(NodeId u);
+  /// Fetches X = P_t(u) (already collected in rank_changeset_, ascending
+  /// rank = preorder); cnt_x is the counter mass X carried before the
+  /// resets. `ru` is the rank of u.
+  void apply_fetch(std::uint32_t ru, std::uint64_t cnt_x);
+  /// Evicts H(u) (already collected in rank_changeset_, ascending rank).
+  void apply_evict(std::uint32_t ru);
   /// Evicts the whole cache and starts a new phase. `aborted_fetch_size` is
   /// the size of the fetch that did not fit (counted into k_P).
   void phase_restart(std::uint32_t aborted_fetch_size);
 
-  /// Collects P_t(u) into changeset_ (preorder) and returns cnt(P_t(u)).
-  std::uint64_t collect_missing(NodeId u);
-  /// Collects H(u) into changeset_ (preorder) and returns cnt(H(u)).
-  std::uint64_t collect_h_set(NodeId u);
+  /// Collects P_t(u) into rank_changeset_ (ascending rank) and returns
+  /// cnt(P_t(u)). A slice scan over [ru, ru + |T(u)|) that jumps over
+  /// cached subtrees.
+  std::uint64_t collect_missing(std::uint32_t ru);
+  /// Collects H(u) into rank_changeset_ (ascending rank) and returns
+  /// cnt(H(u)). A slice scan that jumps over subtrees with I < 0.
+  std::uint64_t collect_h_set(std::uint32_t ru);
 
-  /// Propagates a +1 counter increment at cached node v through the (I, S)
-  /// aggregates and returns the root of v's maximal cached tree.
-  NodeId propagate_negative_increment(NodeId v);
+  /// Propagates a +1 counter increment at cached rank rv through the (I, S)
+  /// aggregates and returns the rank of v's maximal cached tree root.
+  std::uint32_t propagate_negative_increment(std::uint32_t rv);
+
+  /// Translates rank_changeset_ back to NodeIds in `out` and returns it.
+  std::span<const NodeId> translate_changeset(std::vector<NodeId>& out) const;
 
   const Tree* tree_;
   TreeCacheConfig config_;
 
+  /// NodeId-keyed mirror of the cached set, maintained for the public
+  /// cache() view (AccountingSink reads its size every round); the hot path
+  /// reads only state_.cached.
   Subforest cache_;
-  CounterTable cnt_;
+  /// All per-node hot state, preorder-indexed.
+  NodeState state_;
 
-  // §6.1 positive index, valid for non-cached nodes (epoch = phase).
-  EpochArray<std::int64_t> pcnt_;          // cnt_t(P_t(u))
-  EpochArray<std::uint32_t> cached_below_; // |cached ∩ T(u)|
-
-  // §6.2 negative index, valid for cached nodes.
-  std::vector<std::int64_t> h_value_;  // I(u)
-  std::vector<std::uint64_t> h_size_;  // S(u)
-
-  // Lazily maintained superset of the maximal cached roots, used to empty
-  // the cache in O(|cache|) at a phase restart.
-  std::vector<NodeId> root_hints_;
+  /// Lazily maintained superset of the maximal cached roots (ranks), used
+  /// to empty the cache in O(|cache|) at a phase restart.
+  std::vector<std::uint32_t> root_hints_;
 
   Cost cost_;
   std::uint64_t round_ = 0;
   std::uint64_t work_ = 0;
   std::vector<PhaseStats> phases_;
 
-  // Scratch buffers (reused across rounds; exposed via StepOutcome::changed).
-  std::vector<NodeId> path_;
+  // Scratch buffers (reused across rounds). rank_changeset_ holds the
+  // round's changeset in rank space; changeset_/aborted_buf_ hold the
+  // NodeId translations exposed via StepOutcome.
+  std::vector<std::uint32_t> path_;
+  std::vector<std::uint32_t> rank_changeset_;
   std::vector<NodeId> changeset_;
   std::vector<NodeId> aborted_buf_;
-  std::vector<NodeId> stack_;
-  std::vector<std::uint32_t> scratch_count_;
-  std::vector<std::uint8_t> scratch_mark_;
 };
 
 }  // namespace treecache

@@ -1,0 +1,354 @@
+#include "core/tree_cache_legacy.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/registry.hpp"
+
+namespace treecache {
+
+LegacyTreeCache::LegacyTreeCache(const Tree& tree, LegacyTreeCacheConfig config)
+    : tree_(&tree),
+      config_(config),
+      cache_(tree),
+      cnt_(tree.size()),
+      pcnt_(tree.size(), 0),
+      cached_below_(tree.size(), 0),
+      h_value_(tree.size(), 0),
+      h_size_(tree.size(), 0),
+      scratch_count_(tree.size(), 0),
+      scratch_mark_(tree.size(), 0) {
+  TC_CHECK(config_.alpha >= 1, "alpha must be a positive integer");
+  TC_CHECK(config_.capacity >= 1, "capacity must be at least 1");
+  phases_.push_back(PhaseStats{.first_round = 1});
+}
+
+void LegacyTreeCache::reset() {
+  cache_.clear();
+  cnt_.reset_all();
+  pcnt_.reset_all();
+  cached_below_.reset_all();
+  root_hints_.clear();
+  cost_ = Cost{};
+  round_ = 0;
+  work_ = 0;
+  phases_.clear();
+  phases_.push_back(PhaseStats{.first_round = 1});
+  path_.clear();
+  changeset_.clear();
+  aborted_buf_.clear();
+  stack_.clear();
+  // h_value_/h_size_ are only read for cached nodes and re-initialized on
+  // fetch, and the scratch arrays are kept zeroed by their users — but a
+  // reset instance promises to be indistinguishable from a fresh one, so
+  // clear them instead of relying on those comment-level invariants.
+  std::fill(h_value_.begin(), h_value_.end(), std::int64_t{0});
+  std::fill(h_size_.begin(), h_size_.end(), std::uint64_t{0});
+  std::fill(scratch_count_.begin(), scratch_count_.end(), std::uint32_t{0});
+  std::fill(scratch_mark_.begin(), scratch_mark_.end(), std::uint8_t{0});
+}
+
+StepOutcome LegacyTreeCache::step(Request request) {
+  TC_CHECK(request.node < tree_->size(), "request to node outside the tree");
+  ++round_;
+  return request.sign == Sign::kPositive ? handle_positive(request.node)
+                                         : handle_negative(request.node);
+}
+
+void LegacyTreeCache::step_batch(std::span<const Request> requests,
+                           OutcomeSink& sink) {
+  // LegacyTreeCache is final, so step() devirtualizes here: the batch pays one
+  // virtual dispatch total instead of one per round, and step_batch ≡
+  // step holds by construction.
+  for (const Request& request : requests) {
+    sink.on_outcome(request, step(request));
+  }
+}
+
+StepOutcome LegacyTreeCache::handle_positive(NodeId v) {
+  if (cache_.contains(v)) return {};  // request served by the cache, free
+  StepOutcome out;
+  out.paid = true;
+  ++cost_.service;
+  cnt_.increment(v);
+
+  // Every ancestor of a non-cached node is non-cached (the cache is
+  // descendant-closed), so v lies in P_t(u) for each ancestor u: bump all
+  // the aggregates on the path and remember it for the top-down scan.
+  path_.clear();
+  for (NodeId u = v; u != kNoNode; u = tree_->parent(u)) {
+    TC_DCHECK(!cache_.contains(u),
+              "ancestor of a non-cached node must be non-cached");
+    pcnt_.add(u, 1);
+    path_.push_back(u);
+    ++work_;
+  }
+
+  // Scan root→v and fetch the first saturated candidate P_t(u): every valid
+  // positive changeset containing v equals P_t(u) for an ancestor u, and
+  // checking supersets first makes the chosen set maximal (Section 6.1).
+  for (auto it = path_.rbegin(); it != path_.rend(); ++it) {
+    const NodeId u = *it;
+    const auto psize = static_cast<std::uint64_t>(tree_->subtree_size(u)) -
+                       cached_below_.get(u);
+    ++work_;
+    if (static_cast<std::uint64_t>(pcnt_.get(u)) >= psize * config_.alpha) {
+      TC_DCHECK(static_cast<std::uint64_t>(pcnt_.get(u)) ==
+                    psize * config_.alpha,
+                "saturated changeset must be exactly saturated (Lemma 5.1)");
+      if (cache_.size() + psize > config_.capacity) {
+        collect_missing(u);
+        aborted_buf_.assign(changeset_.begin(), changeset_.end());
+        phase_restart(static_cast<std::uint32_t>(psize));
+        out.change = ChangeKind::kPhaseRestart;
+        out.aborted_fetch_size = static_cast<std::uint32_t>(psize);
+        out.aborted_fetch = aborted_buf_;
+        out.changed = changeset_;
+      } else {
+        const std::uint64_t cnt_x = collect_missing(u);
+        TC_DCHECK(changeset_.size() == psize, "P_t(u) size mismatch");
+        apply_fetch(u, cnt_x);
+        out.change = ChangeKind::kFetch;
+        out.changed = changeset_;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+StepOutcome LegacyTreeCache::handle_negative(NodeId v) {
+  if (!cache_.contains(v)) return {};  // node only lives at the controller
+  StepOutcome out;
+  out.paid = true;
+  ++cost_.service;
+  cnt_.increment(v);
+
+  const NodeId u = propagate_negative_increment(v);
+  // val_t(H(u)) > 0  ⇔  I(u) >= 0: H(u) is saturated and maximal (§6.2).
+  if (h_value_[u] >= 0) {
+    const std::uint64_t cnt_h = collect_h_set(u);
+    TC_DCHECK(cnt_h == h_size_[u] * config_.alpha,
+              "evicted H(u) must be exactly saturated");
+    (void)cnt_h;
+    apply_evict(u);
+    out.change = ChangeKind::kEvict;
+    out.changed = changeset_;
+  }
+  return out;
+}
+
+NodeId LegacyTreeCache::propagate_negative_increment(NodeId v) {
+  // The +1 to cnt(v) enters I(v) directly; above v it propagates through
+  // the recursion I(p) = cnt(p) − α + Σ_{children w: I(w) ≥ 0} I(w).
+  // On an increment a child's inclusion can only flip excluded→included
+  // (exactly when its I reaches 0), so each level updates in O(1).
+  std::int64_t old_i = h_value_[v];
+  h_value_[v] += 1;
+  std::int64_t new_i = h_value_[v];
+  std::int64_t d_size = 0;  // ΔS of the current child level
+  NodeId u = v;
+  while (true) {
+    ++work_;
+    const NodeId p = tree_->parent(u);
+    if (p == kNoNode || !cache_.contains(p)) return u;
+    const bool included_before = old_i >= 0;
+    const bool included_after = new_i >= 0;
+    if (!included_before && !included_after) {
+      // Nothing changes higher up; just locate the cached-tree root.
+      NodeId r = p;
+      while (true) {
+        ++work_;
+        const NodeId q = tree_->parent(r);
+        if (q == kNoNode || !cache_.contains(q)) return r;
+        r = q;
+      }
+    }
+    TC_DCHECK(included_after, "inclusion cannot flip off on an increment");
+    const std::int64_t d_i = new_i - (included_before ? old_i : 0);
+    const std::int64_t d_s =
+        included_before ? d_size : static_cast<std::int64_t>(h_size_[u]);
+    old_i = h_value_[p];
+    h_value_[p] += d_i;
+    new_i = h_value_[p];
+    h_size_[p] =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(h_size_[p]) + d_s);
+    d_size = d_s;
+    u = p;
+  }
+}
+
+std::uint64_t LegacyTreeCache::collect_missing(NodeId u) {
+  changeset_.clear();
+  stack_.clear();
+  stack_.push_back(u);
+  std::uint64_t total = 0;
+  while (!stack_.empty()) {
+    const NodeId x = stack_.back();
+    stack_.pop_back();
+    changeset_.push_back(x);
+    total += cnt_.get(x);
+    for (const NodeId c : tree_->children(x)) {
+      ++work_;
+      if (!cache_.contains(c)) stack_.push_back(c);
+    }
+    ++work_;
+  }
+  return total;
+}
+
+std::uint64_t LegacyTreeCache::collect_h_set(NodeId u) {
+  changeset_.clear();
+  stack_.clear();
+  stack_.push_back(u);
+  std::uint64_t total = 0;
+  while (!stack_.empty()) {
+    const NodeId x = stack_.back();
+    stack_.pop_back();
+    changeset_.push_back(x);
+    total += cnt_.get(x);
+    for (const NodeId c : tree_->children(x)) {
+      ++work_;
+      // Children of a cached node are always cached; include those whose
+      // best tree cap has positive value.
+      TC_DCHECK(cache_.contains(c), "cache must be descendant-closed");
+      if (h_value_[c] >= 0) stack_.push_back(c);
+    }
+    ++work_;
+  }
+  return total;
+}
+
+void LegacyTreeCache::apply_fetch(NodeId u, std::uint64_t cnt_x) {
+  const auto x_size = static_cast<std::uint32_t>(changeset_.size());
+  // changeset_ is in preorder; reversed iteration inserts children before
+  // parents, which keeps the cache descendant-closed at every step, and
+  // lets (I, S) be initialized bottom-up in the same pass.
+  for (auto it = changeset_.rbegin(); it != changeset_.rend(); ++it) {
+    const NodeId x = *it;
+    cache_.insert(x);
+    cnt_.reset(x);
+    std::int64_t i_value = -static_cast<std::int64_t>(config_.alpha);
+    std::uint64_t s_value = 1;
+    for (const NodeId c : tree_->children(x)) {
+      ++work_;
+      if (h_value_[c] >= 0) {
+        i_value += h_value_[c];
+        s_value += h_size_[c];
+      }
+    }
+    h_value_[x] = i_value;
+    h_size_[x] = s_value;
+    ++work_;
+  }
+  // Ancestors strictly above u stay non-cached; their candidate sets shrink
+  // by X and lose the cnt_x counter mass that X carried.
+  for (NodeId a = tree_->parent(u); a != kNoNode; a = tree_->parent(a)) {
+    pcnt_.add(a, -static_cast<std::int64_t>(cnt_x));
+    TC_DCHECK(pcnt_.get(a) >= 0, "cnt(P_t(a)) must stay non-negative");
+    cached_below_.add(a, x_size);
+    ++work_;
+  }
+  root_hints_.push_back(u);
+  cost_.reorg += config_.alpha * x_size;
+  phases_.back().fetches += x_size;
+}
+
+void LegacyTreeCache::apply_evict(NodeId u) {
+  const auto x_size = static_cast<std::uint32_t>(changeset_.size());
+  // Top-down eviction (changeset_ is preorder) keeps descendant-closure.
+  for (const NodeId x : changeset_) {
+    cache_.erase(x);
+    cnt_.reset(x);
+    scratch_mark_[x] = 1;
+    ++work_;
+  }
+  // Evicted nodes become the non-cached tops of their subtrees: P_t(x) is
+  // exactly the evicted part of T(x), whose counters were just reset, so
+  // cnt(P_t(x)) = 0 and |P_t(x)| = |X ∩ T(x)|, computed bottom-up.
+  for (auto it = changeset_.rbegin(); it != changeset_.rend(); ++it) {
+    const NodeId x = *it;
+    scratch_count_[x] += 1;
+    const NodeId p = tree_->parent(x);
+    if (p != kNoNode && scratch_mark_[p]) {
+      scratch_count_[p] += scratch_count_[x];
+    }
+    pcnt_.set(x, 0);
+    cached_below_.set(x, tree_->subtree_size(x) - scratch_count_[x]);
+    ++work_;
+  }
+  // Cached children left under evicted nodes become maximal roots.
+  for (const NodeId x : changeset_) {
+    for (const NodeId c : tree_->children(x)) {
+      ++work_;
+      if (cache_.contains(c)) root_hints_.push_back(c);
+    }
+  }
+  for (const NodeId x : changeset_) {
+    scratch_count_[x] = 0;
+    scratch_mark_[x] = 0;
+  }
+  // Ancestors strictly above u: the evicted nodes join their P_t sets with
+  // zero counters, so only the cached-node count changes.
+  for (NodeId a = tree_->parent(u); a != kNoNode; a = tree_->parent(a)) {
+    cached_below_.add(a, -static_cast<std::int64_t>(x_size));
+    ++work_;
+  }
+  cost_.reorg += config_.alpha * x_size;
+  phases_.back().evictions += x_size;
+}
+
+void LegacyTreeCache::phase_restart(std::uint32_t aborted_fetch_size) {
+  // Collect the whole cache: every valid entry of root_hints_ that is still
+  // a maximal root owns a completely cached subtree T(r).
+  changeset_.clear();
+  for (const NodeId r : root_hints_) {
+    if (!cache_.contains(r)) continue;  // stale hint (already evicted)
+    const NodeId p = tree_->parent(r);
+    if (p != kNoNode && cache_.contains(p)) continue;  // no longer maximal
+    if (scratch_mark_[r]) continue;                    // duplicate hint
+    scratch_mark_[r] = 1;
+    stack_.clear();
+    stack_.push_back(r);
+    while (!stack_.empty()) {
+      const NodeId x = stack_.back();
+      stack_.pop_back();
+      TC_DCHECK(cache_.contains(x), "maximal root subtree must be cached");
+      changeset_.push_back(x);
+      for (const NodeId c : tree_->children(x)) stack_.push_back(c);
+      ++work_;
+    }
+  }
+  for (const NodeId r : root_hints_) scratch_mark_[r] = 0;
+  root_hints_.clear();
+
+  const auto evicted = static_cast<std::uint32_t>(changeset_.size());
+  TC_DCHECK(evicted == cache_.size(), "restart must evict the whole cache");
+  for (const NodeId x : changeset_) cache_.erase(x);
+  cost_.reorg += config_.alpha * evicted;
+
+  PhaseStats& phase = phases_.back();
+  phase.last_round = round_;
+  phase.finished = true;
+  // k_P counts the cache right after the "artificial fetch" of the set that
+  // did not fit, before the final eviction (Section 5): k_P >= k_ONL + 1.
+  phase.k_end = evicted + aborted_fetch_size;
+
+  cnt_.reset_all();
+  pcnt_.reset_all();
+  cached_below_.reset_all();
+  phases_.push_back(PhaseStats{.first_round = round_ + 1});
+}
+
+namespace {
+const sim::AlgorithmRegistrar kRegisterTcLegacy{
+    "tc-legacy",
+    "TC with the frozen NodeId-indexed state layout (pre-SoA baseline)",
+    [](const Tree& tree, const sim::Params& p) {
+      return std::make_unique<LegacyTreeCache>(
+          tree,
+          LegacyTreeCacheConfig{.alpha = p.alpha(), .capacity = p.capacity()});
+    }};
+}  // namespace
+
+}  // namespace treecache

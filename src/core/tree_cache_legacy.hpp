@@ -1,0 +1,135 @@
+// TC with its per-node state in construction-order (NodeId-keyed) arrays —
+// the pre-SoA layout, frozen when core/tree_cache moved onto the
+// preorder-indexed core/node_state block.
+//
+// This is NOT dead code kept out of nostalgia: it is the layout-comparison
+// baseline. It runs the identical §6 algorithm over the identical abstract
+// state, but spreads that state across six separate NodeId-keyed arrays
+// (Subforest flags, CounterTable value+stamp, two EpochArrays for the
+// positive index, two plain vectors for the negative index), so every
+// ancestor-walk step is a cache-miss chain and every subtree collection
+// jumps across non-contiguous ids. Registered as "tc-legacy":
+//  * bench_throughput and `treecache throughput --algos tc,tc-legacy`
+//    measure the SoA win as an apples-to-apples before/after row pair;
+//  * every registry-driven differential suite replays it against "tc",
+//    which pins the refactored TreeCache to the old behavior bit for bit.
+// Do not optimize this file; its value is staying what PR 6 shipped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counter_table.hpp"
+#include "core/online_algorithm.hpp"
+#include "core/tree_cache.hpp"  // PhaseStats
+#include "tree/tree.hpp"
+
+namespace treecache {
+
+struct LegacyTreeCacheConfig {
+  /// Cost α ≥ 1 of fetching or evicting one node. (The paper assumes α even
+  /// for analysis constants only; the algorithm accepts any α ≥ 1.)
+  std::uint64_t alpha = 2;
+  /// Cache capacity k_ONL ≥ 1.
+  std::size_t capacity = 16;
+};
+
+class LegacyTreeCache final : public OnlineAlgorithm {
+ public:
+  LegacyTreeCache(const Tree& tree, LegacyTreeCacheConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "TC-legacy"; }
+  StepOutcome step(Request request) override;
+  void step_batch(std::span<const Request> requests,
+                  OutcomeSink& sink) override;
+  void reset() override;
+  [[nodiscard]] const Subforest& cache() const override { return cache_; }
+  [[nodiscard]] const Cost& cost() const override { return cost_; }
+
+  [[nodiscard]] const Tree& tree() const { return *tree_; }
+  [[nodiscard]] const LegacyTreeCacheConfig& config() const { return config_; }
+
+  /// Current round number (number of step() calls since reset).
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+
+  /// Per-node counter value (for tests and instrumentation).
+  [[nodiscard]] std::uint64_t counter(NodeId v) const { return cnt_.get(v); }
+
+  /// Completed and current phases, in order. The last entry is the open
+  /// (possibly unfinished) phase.
+  [[nodiscard]] const std::vector<PhaseStats>& phases() const {
+    return phases_;
+  }
+
+  /// Cumulative count of elementary operations (path steps, aggregate
+  /// updates, changeset-node visits); the empirical counterpart of
+  /// Theorem 6.1's bound.
+  [[nodiscard]] std::uint64_t work() const { return work_; }
+
+  // --- white-box accessors used by the test suite ---------------------
+  /// cnt_t(P_t(u)); meaningful only for non-cached u.
+  [[nodiscard]] std::int64_t debug_pcnt(NodeId u) const { return pcnt_.get(u); }
+  /// |P_t(u)|; meaningful only for non-cached u.
+  [[nodiscard]] std::uint32_t debug_psize(NodeId u) const {
+    return tree_->subtree_size(u) - cached_below_.get(u);
+  }
+  /// I(u) = cnt(H(u)) − |H(u)|·α; meaningful only for cached u.
+  [[nodiscard]] std::int64_t debug_hI(NodeId u) const { return h_value_[u]; }
+  /// S(u) = |H(u)|; meaningful only for cached u.
+  [[nodiscard]] std::uint64_t debug_hS(NodeId u) const { return h_size_[u]; }
+
+ private:
+  StepOutcome handle_positive(NodeId v);
+  StepOutcome handle_negative(NodeId v);
+
+  /// Fetches X = P_t(u) (already collected in changeset_, preorder);
+  /// cnt_x is the counter mass X carried before the resets.
+  void apply_fetch(NodeId u, std::uint64_t cnt_x);
+  /// Evicts H(u) (already collected in changeset_, preorder).
+  void apply_evict(NodeId u);
+  /// Evicts the whole cache and starts a new phase. `aborted_fetch_size` is
+  /// the size of the fetch that did not fit (counted into k_P).
+  void phase_restart(std::uint32_t aborted_fetch_size);
+
+  /// Collects P_t(u) into changeset_ (preorder) and returns cnt(P_t(u)).
+  std::uint64_t collect_missing(NodeId u);
+  /// Collects H(u) into changeset_ (preorder) and returns cnt(H(u)).
+  std::uint64_t collect_h_set(NodeId u);
+
+  /// Propagates a +1 counter increment at cached node v through the (I, S)
+  /// aggregates and returns the root of v's maximal cached tree.
+  NodeId propagate_negative_increment(NodeId v);
+
+  const Tree* tree_;
+  LegacyTreeCacheConfig config_;
+
+  Subforest cache_;
+  CounterTable cnt_;
+
+  // §6.1 positive index, valid for non-cached nodes (epoch = phase).
+  EpochArray<std::int64_t> pcnt_;          // cnt_t(P_t(u))
+  EpochArray<std::uint32_t> cached_below_; // |cached ∩ T(u)|
+
+  // §6.2 negative index, valid for cached nodes.
+  std::vector<std::int64_t> h_value_;  // I(u)
+  std::vector<std::uint64_t> h_size_;  // S(u)
+
+  // Lazily maintained superset of the maximal cached roots, used to empty
+  // the cache in O(|cache|) at a phase restart.
+  std::vector<NodeId> root_hints_;
+
+  Cost cost_;
+  std::uint64_t round_ = 0;
+  std::uint64_t work_ = 0;
+  std::vector<PhaseStats> phases_;
+
+  // Scratch buffers (reused across rounds; exposed via StepOutcome::changed).
+  std::vector<NodeId> path_;
+  std::vector<NodeId> changeset_;
+  std::vector<NodeId> aborted_buf_;
+  std::vector<NodeId> stack_;
+  std::vector<std::uint32_t> scratch_count_;
+  std::vector<std::uint8_t> scratch_mark_;
+};
+
+}  // namespace treecache

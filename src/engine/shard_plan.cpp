@@ -88,6 +88,11 @@ ShardPlan::ShardPlan(const Tree& tree, std::size_t max_shards)
     }
     trees_.emplace_back(std::move(parent));
     global_id_.push_back(std::move(global));
+    // Local ids follow ascending global preorder and sibling subtrees stay
+    // in child order, so the relabeled tree's DFS visits 0, 1, 2, … — the
+    // guarantee the preorder-indexed NodeState layout builds on.
+    TC_DCHECK(trees_.back().is_preorder_labeled(),
+              "shard tree must be preorder-labeled");
   }
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/request.hpp"
@@ -86,6 +87,26 @@ class ShardPlan {
   /// The request routed into its shard's id space.
   [[nodiscard]] Request to_local(Request request) const {
     return Request{to_local(request.node), request.sign};
+  }
+
+  // --- Preorder remap tables --------------------------------------------
+  // Local ids are assigned in ascending global preorder, so every shard
+  // tree is preorder-labeled (Tree::is_preorder_labeled() holds): a shard's
+  // local NodeId IS its preorder rank, and the preorder-indexed NodeState
+  // SoA of its TreeCache needs no per-request permutation at all. These
+  // whole-table views let workers translate NodeId-keyed data in bulk
+  // instead of calling to_local/to_global per element.
+
+  /// Global node → shard-local id, as a whole table (element-wise this is
+  /// to_local; pair it with shard_of to know which shard owns the id).
+  [[nodiscard]] std::span<const NodeId> local_ids() const {
+    return local_id_;
+  }
+
+  /// Shard-local id → global node for shard `s` (element-wise to_global).
+  [[nodiscard]] std::span<const NodeId> global_ids(std::size_t s) const {
+    TC_DCHECK(s < global_id_.size(), "shard out of range");
+    return global_id_[s];
   }
 
  private:

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/outcome_buffer.hpp"
+#include "core/tree_cache.hpp"
 #include "util/stopwatch.hpp"
 
 namespace treecache::engine {
@@ -139,9 +140,23 @@ ShardedEngine::ShardedEngine(const Tree& tree, const std::string& algorithm,
   // normalize so config() never claims a geometry that was not used.
   if (plan_.num_shards() == 1) config_.batch = sim::kDriverBatchSize;
   algs_.reserve(plan_.num_shards());
+  tc_.reserve(plan_.num_shards());
   for (std::size_t s = 0; s < plan_.num_shards(); ++s) {
     algs_.push_back(
         sim::make_algorithm(algorithm, plan_.shard_tree(s), params));
+    // Downcast once here; step_shard then calls the final TreeCache
+    // directly, off the virtual path, for every chunk of the run.
+    tc_.push_back(dynamic_cast<TreeCache*>(algs_.back().get()));
+  }
+}
+
+void ShardedEngine::step_shard(std::size_t s,
+                               std::span<const Request> requests,
+                               OutcomeSink& sink) {
+  if (TreeCache* const tc = tc_[s]) {
+    tc->step_batch(requests, sink);  // direct call: TreeCache is final
+  } else {
+    algs_[s]->step_batch(requests, sink);
   }
 }
 
@@ -223,7 +238,7 @@ EngineResult ShardedEngine::run(RequestSource& source) {
     // Sequential demux: identical routing and per-shard chunking, stepped
     // inline. Per-shard results match the threaded path by construction.
     const auto flush = [&](std::size_t s) {
-      algs_[s]->step_batch(pending[s], sinks[s]);
+      step_shard(s, pending[s], sinks[s]);
       pending[s].clear();
     };
     for (;;) {
@@ -264,7 +279,7 @@ EngineResult ShardedEngine::run(RequestSource& source) {
           }
           queue.space.notify_one();
           try {
-            algs_[item.first]->step_batch(item.second, sinks[item.first]);
+            step_shard(item.first, item.second, sinks[item.first]);
           } catch (...) {
             {
               const std::lock_guard<std::mutex> lock(error_mutex);
@@ -415,7 +430,7 @@ EngineResult ShardedEngine::run_split(
           --remaining;
           continue;
         }
-        algs_[s]->step_batch({buffer.data(), n}, sinks[s]);
+        step_shard(s, {buffer.data(), n}, sinks[s]);
       }
     }
   } else {
@@ -465,7 +480,7 @@ void ShardedEngine::run_split_threaded(
         FeedbackSink sink(out.per_shard[s], *algs_[s], feedback, s,
                           scratch);
         try {
-          algs_[s]->step_batch(item.second, sink);
+          step_shard(s, item.second, sink);
           sink.publish();  // the sub-bound tail of the chunk
         } catch (const AbortRun&) {
           return;  // torn down mid-chunk: shutdown, not an error
@@ -592,7 +607,7 @@ void ShardedEngine::run_parts_threaded(
             const std::size_t n =
                 parts[s]->fill({buffer.data(), buffer.size()});
             if (n == 0) break;
-            algs_[s]->step_batch({buffer.data(), n}, sink);
+            step_shard(s, {buffer.data(), n}, sink);
           }
         }
       } catch (...) {

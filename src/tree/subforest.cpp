@@ -75,12 +75,17 @@ bool Subforest::is_valid_negative_changeset(
 
 std::vector<NodeId> Subforest::maximal_roots() const {
   std::vector<NodeId> roots;
+  maximal_roots(roots);
+  return roots;
+}
+
+void Subforest::maximal_roots(std::vector<NodeId>& out) const {
+  out.clear();
   for (NodeId v = 0; v < tree_->size(); ++v) {
     if (!contains(v)) continue;
     const NodeId p = tree_->parent(v);
-    if (p == kNoNode || !contains(p)) roots.push_back(v);
+    if (p == kNoNode || !contains(p)) out.push_back(v);
   }
-  return roots;
 }
 
 NodeId Subforest::cached_tree_root(NodeId v) const {
@@ -94,27 +99,43 @@ NodeId Subforest::cached_tree_root(NodeId v) const {
 }
 
 std::vector<NodeId> Subforest::missing_subtree(NodeId u) const {
-  TC_CHECK(!contains(u), "P_t(u) is defined for non-cached u only");
   std::vector<NodeId> result;
-  std::vector<NodeId> stack{u};
-  while (!stack.empty()) {
-    const NodeId v = stack.back();
-    stack.pop_back();
-    result.push_back(v);
-    for (const NodeId c : tree_->children(v)) {
-      if (!contains(c)) stack.push_back(c);
-    }
-  }
+  missing_subtree(u, result);
   return result;
+}
+
+void Subforest::missing_subtree(NodeId u, std::vector<NodeId>& out) const {
+  TC_CHECK(!contains(u), "P_t(u) is defined for non-cached u only");
+  out.clear();
+  // T(u) is a contiguous preorder-rank slice; a cached node's subtree is
+  // entirely cached (descendant-closure), so it is skipped as one jump.
+  // This needs no DFS stack, so a reused `out` means no allocation at all.
+  const auto from = tree_->from_preorder();
+  const std::uint32_t ru = tree_->preorder_index(u);
+  const std::uint32_t end = ru + tree_->subtree_size(u);
+  for (std::uint32_t r = ru; r < end;) {
+    const NodeId v = from[r];
+    if (contains(v)) {
+      r += tree_->preorder_subtree_size(r);
+      continue;
+    }
+    out.push_back(v);
+    ++r;
+  }
 }
 
 std::vector<NodeId> Subforest::as_vector() const {
   std::vector<NodeId> out;
+  as_vector(out);
+  return out;
+}
+
+void Subforest::as_vector(std::vector<NodeId>& out) const {
+  out.clear();
   out.reserve(size_);
   for (NodeId v = 0; v < tree_->size(); ++v) {
     if (contains(v)) out.push_back(v);
   }
-  return out;
 }
 
 }  // namespace treecache

@@ -61,6 +61,18 @@ class Subforest {
   /// cached trees.
   [[nodiscard]] std::vector<NodeId> maximal_roots() const;
 
+  // Output-buffer forms of the collection queries, for hot-path callers
+  // that would otherwise allocate a fresh vector every round: `out` is
+  // cleared and refilled, so a reused buffer amortizes to zero allocations.
+  // The convenience forms above delegate to these.
+
+  /// maximal_roots() into `out`.
+  void maximal_roots(std::vector<NodeId>& out) const;
+  /// missing_subtree(u) into `out` (preorder, parents first).
+  void missing_subtree(NodeId u, std::vector<NodeId>& out) const;
+  /// as_vector() into `out` (increasing id order).
+  void as_vector(std::vector<NodeId>& out) const;
+
   /// Root of the maximal cached tree containing v (requires contains(v)).
   /// O(depth) by walking up while the parent is cached.
   [[nodiscard]] NodeId cached_tree_root(NodeId v) const;

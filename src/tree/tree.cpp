@@ -82,6 +82,17 @@ Tree::Tree(std::vector<NodeId> parent) : parent_(std::move(parent)) {
 
   height_ = 0;
   for (NodeId v = 0; v < n; ++v) height_ = std::max(height_, depth_[v] + 1);
+
+  // Rank-space topology and the identity-permutation flag.
+  rank_parent_.assign(n, kNoNode);
+  rank_size_.assign(n, 0);
+  preorder_labeled_ = true;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const NodeId v = preorder_[r];
+    if (v != r) preorder_labeled_ = false;
+    rank_size_[r] = subtree_size_[v];
+    if (v != root_) rank_parent_[r] = tin_[parent_[v]];
+  }
 }
 
 std::vector<NodeId> Tree::leaves() const {

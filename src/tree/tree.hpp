@@ -90,6 +90,51 @@ class Tree {
     return tin_[v];
   }
 
+  // --- Preorder remap facility -----------------------------------------
+  // Per-node state indexed by preorder rank makes every subtree a
+  // contiguous slice (core/node_state.hpp builds on this). The two
+  // permutation tables convert NodeId-keyed data in bulk; the rank-space
+  // topology accessors let ancestor walks and child scans stay entirely in
+  // rank coordinates: the first child of rank r is r + 1 and the next
+  // sibling of rank c is c + preorder_subtree_size(c), so child iteration
+  // needs no adjacency array at all.
+
+  /// NodeId → preorder rank, as a whole table (element-wise this is
+  /// preorder_index).
+  [[nodiscard]] std::span<const std::uint32_t> to_preorder() const {
+    return tin_;
+  }
+
+  /// Preorder rank → NodeId — the inverse permutation (alias of
+  /// preorder()).
+  [[nodiscard]] std::span<const NodeId> from_preorder() const {
+    return preorder_;
+  }
+
+  /// Rank of the parent of the node at rank r (kNoNode for the root).
+  [[nodiscard]] std::uint32_t preorder_parent(std::uint32_t r) const {
+    TC_DCHECK(r < size(), "rank out of range");
+    return rank_parent_[r];
+  }
+
+  /// |T(v)| of the node v at rank r; T(v) is the rank slice
+  /// [r, r + preorder_subtree_size(r)).
+  [[nodiscard]] std::uint32_t preorder_subtree_size(std::uint32_t r) const {
+    TC_DCHECK(r < size(), "rank out of range");
+    return rank_size_[r];
+  }
+
+  /// True iff NodeId already equals preorder rank, i.e. both remap tables
+  /// are the identity. ShardPlan's relabeled shard trees guarantee this.
+  [[nodiscard]] bool is_preorder_labeled() const { return preorder_labeled_; }
+
+  /// A copy of `tree` whose NodeIds ARE preorder ranks (its remap tables
+  /// are the identity). The node at rank r of `tree` becomes node r.
+  [[nodiscard]] static Tree preorder_relabeled(const Tree& tree) {
+    return Tree(std::vector<NodeId>(tree.rank_parent_.begin(),
+                                    tree.rank_parent_.end()));
+  }
+
   /// Nodes in postorder (children before parents).
   [[nodiscard]] std::span<const NodeId> postorder() const {
     return postorder_;
@@ -114,9 +159,15 @@ class Tree {
   std::vector<std::uint32_t> subtree_size_;
   std::vector<std::uint32_t> tin_, tout_;  // preorder interval of T(v)
   std::vector<NodeId> preorder_, postorder_;
+  // Rank-space topology: parent rank and subtree size of the node at each
+  // preorder rank (rank_parent_ doubles as the preorder-relabeled parent
+  // array).
+  std::vector<std::uint32_t> rank_parent_;
+  std::vector<std::uint32_t> rank_size_;
   NodeId root_ = kNoNode;
   std::uint32_t height_ = 0;
   std::uint32_t max_degree_ = 0;
+  bool preorder_labeled_ = false;
 };
 
 }  // namespace treecache

@@ -101,6 +101,51 @@ TEST(ShardPlan, PartitionsThePreorderIntoSubtreeSlices) {
   EXPECT_EQ(plan.to_local(tree.root()), NodeId{0});
 }
 
+TEST(ShardPlan, ShardTreesArePreorderLabeled) {
+  // Relabeled shard trees assign local ids in ascending global preorder,
+  // so each is preorder-labeled: a shard-local NodeId IS its preorder rank
+  // and the preorder-indexed NodeState SoA needs no per-request
+  // permutation. (The trivial 1-shard plan returns the universe itself,
+  // whose labeling is whatever the caller built — no guarantee there.)
+  Rng rng(11);
+  const Tree tree = trees::random_recursive(400, rng);
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    const engine::ShardPlan plan(tree, shards);
+    ASSERT_GE(plan.num_shards(), 2u);
+    for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+      EXPECT_TRUE(plan.shard_tree(s).is_preorder_labeled())
+          << "shards=" << shards << " s=" << s;
+    }
+  }
+}
+
+TEST(ShardPlan, RemapTablesMatchElementwiseTranslation) {
+  Rng rng(13);
+  const Tree tree = trees::random_recursive(300, rng);
+  const engine::ShardPlan plan(tree, 4);
+  ASSERT_GE(plan.num_shards(), 2u);
+
+  const std::span<const NodeId> local = plan.local_ids();
+  ASSERT_EQ(local.size(), tree.size());
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    EXPECT_EQ(local[v], plan.to_local(v));
+  }
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    const std::span<const NodeId> global = plan.global_ids(s);
+    ASSERT_EQ(global.size(), plan.shard_tree(s).size());
+    for (NodeId l = 0; l < global.size(); ++l) {
+      EXPECT_EQ(global[l], plan.to_global(s, l));
+    }
+    // Inverse round trip for every requestable node of the shard (the
+    // replica root of shards s > 0 maps to the global root, which shard 0
+    // owns — skip it).
+    for (NodeId l = (s == 0 ? 0u : 1u); l < global.size(); ++l) {
+      EXPECT_EQ(plan.shard_of(global[l]), s);
+      EXPECT_EQ(local[global[l]], l);
+    }
+  }
+}
+
 TEST(ShardPlan, ShardCountCapsAtTopLevelSubtrees) {
   const Tree star = trees::star(5);  // root + 5 leaf children
   EXPECT_EQ(engine::ShardPlan(star, 16).num_shards(), 5u);

@@ -69,6 +69,39 @@ TEST(Subforest, MissingSubtreeSkipsCachedParts) {
   EXPECT_EQ(missing, (std::vector<NodeId>{1, 2}));
 }
 
+TEST(Subforest, OutputBufferOverloadsMatchConvenienceForms) {
+  Rng rng(29);
+  const Tree t = trees::random_recursive(50, rng);
+  Subforest cache(t);
+  // Buffers pre-filled with garbage: the overloads must clear, not append.
+  std::vector<NodeId> missing_buf{kNoNode, kNoNode};
+  std::vector<NodeId> roots_buf{kNoNode};
+  std::vector<NodeId> cached_buf{kNoNode, kNoNode, kNoNode};
+  for (int step = 0; step < 300; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.below(t.size()));
+    if (!cache.contains(u)) {
+      cache.missing_subtree(u, missing_buf);
+      EXPECT_EQ(missing_buf, cache.missing_subtree(u));
+      if (rng.chance(0.6)) {
+        for (auto it = missing_buf.rbegin(); it != missing_buf.rend(); ++it) {
+          cache.insert(*it);
+        }
+      }
+    } else if (rng.chance(0.3)) {
+      const NodeId r = cache.cached_tree_root(u);
+      std::vector<NodeId> subtree;
+      Subforest empty(t);
+      empty.missing_subtree(r, subtree);  // whole T(r), preorder
+      for (const NodeId v : subtree) cache.erase(v);
+    }
+    cache.maximal_roots(roots_buf);
+    EXPECT_EQ(roots_buf, cache.maximal_roots());
+    cache.as_vector(cached_buf);
+    EXPECT_EQ(cached_buf, cache.as_vector());
+    ASSERT_TRUE(cache.is_valid());
+  }
+}
+
 TEST(Subforest, PositiveChangesetValidity) {
   const Tree t = trees::path(4);
   const Subforest cache = path_cache_suffix(t, 3);  // {3} cached

@@ -186,6 +186,73 @@ TEST(TreeIo, DotHasOneEdgePerNonRoot) {
   EXPECT_EQ(edges, t.size() - 1);
 }
 
+TEST(TreePreorder, RemapTablesAreInversePermutations) {
+  Rng rng(11);
+  const Tree t = trees::random_recursive(60, rng);
+  const auto to = t.to_preorder();
+  const auto from = t.from_preorder();
+  ASSERT_EQ(to.size(), t.size());
+  ASSERT_EQ(from.size(), t.size());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(to[v], t.preorder_index(v));
+    EXPECT_EQ(from[to[v]], v);
+    EXPECT_EQ(to[from[v]], v);
+  }
+}
+
+TEST(TreePreorder, RankTopologyMatchesNodeTopology) {
+  Rng rng(23);
+  const Tree t = trees::random_bounded_degree(50, 3, rng);
+  for (std::uint32_t r = 0; r < t.size(); ++r) {
+    const NodeId v = t.from_preorder()[r];
+    EXPECT_EQ(t.preorder_subtree_size(r), t.subtree_size(v));
+    const NodeId p = t.parent(v);
+    EXPECT_EQ(t.preorder_parent(r),
+              p == kNoNode ? kNoNode : t.preorder_index(p));
+  }
+}
+
+TEST(TreePreorder, FirstChildNextSiblingScanEnumeratesChildren) {
+  // Child iteration in rank space needs no adjacency array: first child is
+  // r + 1, next sibling is c + subtree_size(c).
+  Rng rng(7);
+  const Tree t = trees::random_recursive(40, rng);
+  for (std::uint32_t r = 0; r < t.size(); ++r) {
+    std::vector<NodeId> scanned;
+    const std::uint32_t end = r + t.preorder_subtree_size(r);
+    for (std::uint32_t c = r + 1; c < end; c += t.preorder_subtree_size(c)) {
+      scanned.push_back(t.from_preorder()[c]);
+    }
+    const auto kids = t.children(t.from_preorder()[r]);
+    std::vector<NodeId> expected(kids.begin(), kids.end());
+    // The scan yields children in preorder; children() is construction
+    // order. Compare as sets.
+    std::sort(scanned.begin(), scanned.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(scanned, expected);
+  }
+}
+
+TEST(TreePreorder, RelabeledTreeIsIdentityPermutation) {
+  Rng rng(5);
+  const Tree t = trees::random_recursive(45, rng);
+  const Tree r = Tree::preorder_relabeled(t);
+  EXPECT_TRUE(r.is_preorder_labeled());
+  ASSERT_EQ(r.size(), t.size());
+  // Same shape: node at rank k of t becomes node k of r, preserving
+  // parenthood, subtree sizes and depths.
+  for (std::uint32_t k = 0; k < t.size(); ++k) {
+    const NodeId v = t.from_preorder()[k];
+    EXPECT_EQ(r.from_preorder()[k], k);
+    EXPECT_EQ(r.subtree_size(k), t.subtree_size(v));
+    EXPECT_EQ(r.depth(k), t.depth(v));
+  }
+  // A tree built in preorder (a path is) reports identity; a level-order
+  // build (complete k-ary, 3 levels) does not.
+  EXPECT_TRUE(trees::path(4).is_preorder_labeled());
+  EXPECT_FALSE(trees::complete_kary(3, 2).is_preorder_labeled());
+}
+
 TEST(TwoSubtreeGadget, Shape) {
   const Tree t = trees::two_subtree_gadget(4);
   // root + two full binary subtrees of size 7.

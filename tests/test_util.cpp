@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "core/counter_table.hpp"
@@ -42,6 +43,26 @@ TEST(EpochArray, SurvivesManyEpochs) {
     arr.reset_all();
   }
   EXPECT_EQ(arr.get(0), 9u);
+}
+
+TEST(EpochArray, EpochWraparoundClearsStaleSlots) {
+  // After 2^32 − 1 resets the epoch counter wraps to 0 and reset_all() must
+  // really clear the arrays: a slot stamped in epoch 1 of the PREVIOUS lap
+  // would otherwise be resurrected once the counter reaches 1 again.
+  EpochArray<std::int64_t> arr(3, -5);
+  arr.set(0, 77);  // stamped with epoch 1
+  arr.debug_set_epoch(std::numeric_limits<std::uint32_t>::max());
+  arr.set(1, 88);  // stamped with the final pre-wrap epoch
+  arr.reset_all();  // wraps: must fall back to an O(n) clear
+  EXPECT_EQ(arr.debug_epoch(), 1u);
+  EXPECT_EQ(arr.get(0), -5);  // NOT 77, despite stamp == epoch == 1 pre-clear
+  EXPECT_EQ(arr.get(1), -5);
+  EXPECT_EQ(arr.get(2), -5);
+  // The wrapped instance behaves like a fresh one.
+  arr.add(0, 6);
+  EXPECT_EQ(arr.get(0), 1);
+  arr.reset_all();
+  EXPECT_EQ(arr.get(0), -5);
 }
 
 TEST(CounterTable, IncrementAndPhaseReset) {

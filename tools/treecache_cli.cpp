@@ -30,7 +30,10 @@
 //              [--shards S] [--threads N] [--batch B] [--feedback F]
 //              [--seed S] [--json out.json]; aggregate costs are
 //              identical for every --threads value (per-shard routing is
-//              deterministic)
+//              deterministic). --algos a,b,... instead of --algo runs a
+//              side-by-side comparison over the same stream (speedup vs
+//              the first name — `--algos tc-legacy,tc` measures the
+//              preorder-SoA layout win)
 //   sweep      --tree tree.txt --algos a,b,... --workloads w1,w2,...
 //              [shared params] [--seed S] [--json out.json]
 //   fib        closed-loop router simulation (switch + controller) on a
@@ -336,28 +339,115 @@ int cmd_run(const Flags& flags) {
   return 0;
 }
 
+/// `throughput --algos a,b,...`: the comparison mode. Every named
+/// algorithm runs through an identically configured engine over the same
+/// stream; the speedup column divides by the FIRST name, so
+/// `--algos tc-legacy,tc` reads directly as the memory-layout win (same
+/// decisions bit for bit, only the state layout differs). The single-algo
+/// path (`--algo`, schema treecache.throughput/1) is untouched; this mode
+/// writes treecache.throughput-compare/1 {schema, scenario, rows: [...]}.
+template <typename MakeSource>
+int cmd_throughput_compare(const Flags& flags, const Tree& tree,
+                           const sim::Params& params,
+                           const engine::EngineConfig& config,
+                           const std::string& workload,
+                           const MakeSource& make_request_source) {
+  const auto algos = split_csv(flags.get("algos", ""));
+  TC_CHECK(!algos.empty(), "--algos needs at least one algorithm name");
+
+  struct Row {
+    std::string algorithm;
+    engine::EngineResult result;
+  };
+  std::vector<Row> rows;
+  rows.reserve(algos.size());
+  for (const std::string& name : algos) {
+    engine::ShardedEngine eng(tree, name, params, config);
+    const auto source = make_request_source();
+    rows.push_back({name, eng.run(*source)});
+  }
+  const double base_rps = rows.front().result.total.requests_per_second();
+  const auto speedup = [&](const Row& row) {
+    const double rps = row.result.total.requests_per_second();
+    return base_rps > 0.0 ? rps / base_rps : 0.0;
+  };
+
+  if (flags.has("json")) {
+    const sim::Scenario scenario{.algorithm = flags.get("algos", ""),
+                                 .workload = workload,
+                                 .params = params,
+                                 .seed = flags.get_u64("seed", 1)};
+    util::Json scenario_doc = sim::to_json(scenario);
+    if (workload.empty()) scenario_doc.set("trace", flags.get("trace", ""));
+    util::Json json_rows = util::Json::array();
+    for (const Row& row : rows) {
+      json_rows.push(
+          util::Json::object()
+              .set("algorithm", row.algorithm)
+              .set("shards", std::uint64_t{row.result.shards})
+              .set("threads", std::uint64_t{row.result.threads})
+              .set("requests_per_second",
+                   row.result.total.requests_per_second())
+              .set("speedup_vs_first", speedup(row))
+              .set("result", sim::to_json(row.result.total)));
+    }
+    util::save_json(flags.get("json", "-"),
+                    util::Json::object()
+                        .set("schema", "treecache.throughput-compare/1")
+                        .set("scenario", std::move(scenario_doc))
+                        .set("rows", std::move(json_rows)));
+  }
+  if (stdout_is_human(flags)) {
+    ConsoleTable table({"algorithm", "shards", "threads", "rounds",
+                        "total cost", "wall s", "Mreq/s",
+                        "vs " + algos.front()});
+    for (const Row& row : rows) {
+      const sim::RunResult& r = row.result.total;
+      table.add_row({row.algorithm,
+                     ConsoleTable::fmt(std::uint64_t{row.result.shards}),
+                     ConsoleTable::fmt(std::uint64_t{row.result.threads}),
+                     ConsoleTable::fmt(r.rounds),
+                     ConsoleTable::fmt(r.cost.total()),
+                     ConsoleTable::fmt(r.wall_seconds, 3),
+                     ConsoleTable::fmt(r.requests_per_second() / 1e6, 2),
+                     ConsoleTable::fmt(speedup(row), 2) + "x"});
+    }
+    table.print();
+  }
+  return 0;
+}
+
 int cmd_throughput(const Flags& flags) {
   const Tree tree = load_tree(flags);
   // The engine knobs parameterize the engine, not the scenario: drop them
   // so two runs that differ only in engine geometry echo identical
   // scenario params (their costs are identical too — that is the contract).
   const sim::Params params = params_from(flags, kEngineFlagKeys);
-  const std::string name = flags.get("algo", flags.get("alg", "tc"));
   const engine::EngineConfig config = engine_config_from(flags);
 
   TC_CHECK(!(flags.has("trace") && flags.has("workload")),
            "--trace and --workload are mutually exclusive");
+  TC_CHECK(!(flags.has("algo") && flags.has("algos")),
+           "--algo and --algos are mutually exclusive");
   const std::string workload =
       flags.has("trace") ? "" : flags.get("workload", "zipf");
-  const auto source = [&]() -> std::unique_ptr<RequestSource> {
+  // Sources are consumed by a run; comparison mode rebuilds one per
+  // algorithm so every contender replays the identical stream.
+  const auto make_request_source = [&]() -> std::unique_ptr<RequestSource> {
     if (!workload.empty()) {
       return sim::make_source(workload, tree, params,
                               flags.get_u64("seed", 1));
     }
     return std::make_unique<FileTraceSource>(flags.get("trace", ""),
                                              tree.size());
-  }();
+  };
 
+  if (flags.has("algos")) return cmd_throughput_compare(flags, tree, params,
+                                                        config, workload,
+                                                        make_request_source);
+
+  const std::string name = flags.get("algo", flags.get("alg", "tc"));
+  const auto source = make_request_source();
   engine::ShardedEngine eng(tree, name, params, config);
   const engine::EngineResult result = eng.run(*source);
 
