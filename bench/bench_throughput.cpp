@@ -7,6 +7,8 @@
 // synthetic RIB. The tc-batched layout pairs rerun the fib workload with
 // TC's frozen NodeId-keyed state (tc-legacy) next to the preorder SoA
 // (tc) at 1x1 and 8xN — same costs bit for bit, only requests/sec moves.
+// The fib-real rows replay the checked-in RIB feed fixture (ingested
+// dump+update churn) through the same open-loop engine at 1x1 and 8xN.
 // Identical seed per mode, best of TREECACHE_BENCH_REPS repetitions; emits
 // BENCH_throughput.json when TREECACHE_BENCH_JSON_DIR is set (the CI perf
 // artifact).
@@ -17,6 +19,7 @@
 #include "engine/sharded_engine.hpp"
 #include "fib/fib_workloads.hpp"
 #include "fib/router_source.hpp"
+#include "rib/workloads.hpp"
 #include "sim/bench_env.hpp"
 #include "sim/fib_engine.hpp"
 #include "sim/registry.hpp"
@@ -36,6 +39,7 @@ struct Mode {
   std::size_t threads = 1;  // 0 = one worker per shard (hardware-capped)
   bool observer = false;    // force the per-round observer slow path
   bool closed_loop = false;  // FIB router source instead of the Zipf stream
+  bool real_feed = false;    // fib-real: ingested RIB feed replay
   std::string algo = "tc";   // registry name the mode runs
   // Layout-comparison rows (the tc-batched pairs): "nodeid" is the frozen
   // pre-SoA baseline (tc-legacy), "preorder-soa" the preorder-indexed
@@ -82,6 +86,16 @@ Sample run_closed_loop_mode(const Mode& mode, const fib::RuleTree& rules,
       {.shards = mode.shards, .threads = mode.threads});
   fib::RouterSource source(rules, sim::fib_router_config(params, seed));
   const engine::EngineResult result = eng.run(source);
+  return {result.total, result.threads};
+}
+
+Sample run_real_feed_mode(const Mode& mode, const Tree& tree,
+                          const sim::Params& params, std::uint64_t seed) {
+  engine::ShardedEngine eng(
+      tree, mode.algo, params,
+      {.shards = mode.shards, .threads = mode.threads, .batch = 4096});
+  const auto source = sim::make_source("fib-real", tree, params, seed);
+  const engine::EngineResult result = eng.run(*source);
   return {result.total, result.threads};
 }
 
@@ -132,6 +146,20 @@ int main() {
   fib_params.set("rules", std::to_string(sim::bench_scaled(20000)));
   fib_params.set("packets", std::to_string(sim::bench_scaled(400000)));
   const fib::RuleTree rules = fib::rule_tree_from_params(fib_params);
+
+  // Real-feed substrate: the checked-in RIB fixture replayed as churn
+  // (α-chunk updates interleaved with Zipf lookups). The table is small —
+  // what the rows measure is the driver stack on a real update/lookup mix,
+  // so the stream length is scaled through lookups-per-event.
+  sim::Params real_params;
+  real_params.set("alpha", "16");
+  real_params.set("capacity", "512");
+  real_params.set("skew", "1.0");
+  real_params.set("rib-feed",
+                  std::string(TREECACHE_TEST_DATA_DIR) + "/rib_v4.feed");
+  real_params.set("lookups-per-event",
+                  std::to_string(sim::bench_scaled(20000)));
+  const Tree& real_tree = rib::shared_real_fib(real_params).tree();
 
   // Each workload family measures against ITS single-thread row: open-loop
   // rows against the batched Zipf driver, fib-closed rows against the
@@ -188,6 +216,16 @@ int main() {
        .closed_loop = true,
        .layout = "preorder-soa",
        .baseline = "tc-batched-nodeid-8xN"},
+      // Real-feed rows: the fib-real workload over the ingested fixture
+      // table — open loop, so sharding scales it like the Zipf rows, but
+      // the stream is a real dump+update churn mix.
+      {.name = "fib-real-1x1", .shards = 1, .real_feed = true,
+       .baseline = "fib-real-1x1"},
+      {.name = "fib-real-8xN",
+       .shards = 8,
+       .threads = 0,
+       .real_feed = true,
+       .baseline = "fib-real-1x1"},
   };
 
   // Measure everything first: the single-thread baseline row itself gets a
@@ -196,9 +234,11 @@ int main() {
   for (std::size_t m = 0; m < modes.size(); ++m) {
     for (std::size_t rep = 0; rep < reps; ++rep) {
       Sample sample =
-          modes[m].closed_loop
-              ? run_closed_loop_mode(modes[m], rules, fib_params, seed)
-              : run_mode(modes[m], tree, params, seed);
+          modes[m].real_feed
+              ? run_real_feed_mode(modes[m], real_tree, real_params, seed)
+              : modes[m].closed_loop
+                    ? run_closed_loop_mode(modes[m], rules, fib_params, seed)
+                    : run_mode(modes[m], tree, params, seed);
       if (best[m].result.rounds == 0 ||
           sample.result.wall_seconds < best[m].result.wall_seconds) {
         best[m] = sample;
@@ -258,6 +298,7 @@ int main() {
       "should beat the 1x1 row whenever spare cores exist. The tc-batched "
       "pairs isolate the memory layout: nodeid is the frozen pre-SoA "
       "TreeCache, preorder-soa the flat NodeState block — identical "
-      "decisions, so the speedup column is pure locality");
+      "decisions, so the speedup column is pure locality. The fib-real "
+      "rows swap the synthetic stream for replayed RIB-feed churn");
   return 0;
 }

@@ -117,18 +117,30 @@ class FeedbackSink final : public OutcomeSink {
   OutcomeBuffer* local_;
 };
 
+/// The once-per-process latch for warn_replicated_split below; the rearm
+/// hook (tests) lives in the header.
+std::atomic<bool> g_replicated_split_warned{false};
+
 /// stderr diagnostic for the split_kind() satellite contract: a replicated
 /// split is correct but regenerates the whole stream once per shard.
+/// Deduplicated process-wide — a sweep or multi-run process hitting the
+/// fallback at several call sites (closed-loop split, threaded open-loop
+/// split) or across many runs prints it once, not once per run.
 void warn_replicated_split(std::size_t shards) {
+  if (g_replicated_split_warned.exchange(true)) return;
   std::cerr << "treecache: warning: multi-shard run falls back to "
                "replicated generation (RequestSource::split cloned the "
                "stream for each of "
             << shards
             << " shards); generation cost scales with the shard count — "
-               "see RequestSource::split_kind()\n";
+               "see RequestSource::split_kind() (warned once per process)\n";
 }
 
 }  // namespace
+
+void rearm_replicated_split_warning() {
+  g_replicated_split_warned.store(false);
+}
 
 ShardedEngine::ShardedEngine(const Tree& tree, const std::string& algorithm,
                              const sim::Params& params, EngineConfig config)

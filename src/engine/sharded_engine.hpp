@@ -161,4 +161,8 @@ class ShardedEngine {
   std::vector<TreeCache*> tc_;
 };
 
+/// Re-arms the once-per-process "replicated generation" stderr warning
+/// (it deduplicates across runs and call sites). Test hook only.
+void rearm_replicated_split_warning();
+
 }  // namespace treecache::engine

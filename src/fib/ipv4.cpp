@@ -2,43 +2,62 @@
 
 #include <sstream>
 
+#include "util/rng.hpp"
+
 namespace treecache::fib {
 
-std::string address_to_string(Address addr) {
+namespace {
+
+[[noreturn]] void fail_v4(std::string_view text, const std::string& what,
+                          std::size_t column) {
+  throw CheckFailure("IPv4 address \"" + std::string(text) + "\": " + what +
+                     " at column " + std::to_string(column + 1));
+}
+
+}  // namespace
+
+std::string AddressFamily<Address>::to_string(Address addr) {
   std::ostringstream os;
   os << (addr >> 24) << '.' << ((addr >> 16) & 0xff) << '.'
      << ((addr >> 8) & 0xff) << '.' << (addr & 0xff);
   return os.str();
 }
 
-Address parse_address(const std::string& text) {
-  std::istringstream is(text);
+Address AddressFamily<Address>::parse(std::string_view text) {
+  std::size_t i = 0;
   Address addr = 0;
-  for (int i = 0; i < 4; ++i) {
-    unsigned octet = 0;
-    char dot = 0;
-    TC_CHECK(static_cast<bool>(is >> octet), "malformed IPv4 address");
-    TC_CHECK(octet <= 255, "IPv4 octet out of range");
-    addr = (addr << 8) | octet;
-    if (i < 3) {
-      TC_CHECK(static_cast<bool>(is >> dot) && dot == '.',
-               "malformed IPv4 address");
+  for (int octet_index = 0; octet_index < 4; ++octet_index) {
+    if (octet_index > 0) {
+      if (i >= text.size() || text[i] != '.') fail_v4(text, "expected '.'", i);
+      ++i;
     }
+    const std::size_t start = i;
+    unsigned value = 0;
+    std::size_t digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + static_cast<unsigned>(text[i] - '0');
+      ++digits;
+      ++i;
+      if (digits > 3) fail_v4(text, "octet has more than three digits", start);
+    }
+    if (digits == 0) fail_v4(text, "expected a decimal octet", i);
+    if (value > 255) fail_v4(text, "octet out of range (0..255)", start);
+    addr = (addr << 8) | value;
   }
+  if (i != text.size()) fail_v4(text, "trailing characters", i);
   return addr;
 }
 
-Prefix Prefix::parse(const std::string& text) {
-  const auto slash = text.find('/');
-  TC_CHECK(slash != std::string::npos, "prefix needs /length");
-  const Address addr = parse_address(text.substr(0, slash));
-  const unsigned long length = std::stoul(text.substr(slash + 1));
-  TC_CHECK(length <= 32, "prefix length out of range");
-  return Prefix::make(addr, static_cast<std::uint8_t>(length));
+Address AddressFamily<Address>::random(Rng& rng) {
+  return static_cast<Address>(rng());
 }
 
-std::string Prefix::to_string() const {
-  return address_to_string(bits) + "/" + std::to_string(length);
+std::string address_to_string(Address addr) {
+  return AddressFamily<Address>::to_string(addr);
+}
+
+Address parse_address(const std::string& text) {
+  return AddressFamily<Address>::parse(text);
 }
 
 }  // namespace treecache::fib

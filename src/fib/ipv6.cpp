@@ -1,0 +1,151 @@
+#include "fib/ipv6.hpp"
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace treecache::fib {
+
+namespace {
+
+[[noreturn]] void fail_v6(std::string_view text, const std::string& what,
+                          std::size_t column) {
+  throw CheckFailure("IPv6 address \"" + std::string(text) + "\": " + what +
+                     " at column " + std::to_string(column + 1));
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Scans one 1-4 hex-digit group starting at `i`; advances `i`.
+std::uint16_t scan_group(std::string_view text, std::size_t& i) {
+  const std::size_t start = i;
+  unsigned value = 0;
+  std::size_t digits = 0;
+  while (i < text.size()) {
+    const int d = hex_digit(text[i]);
+    if (d < 0) break;
+    value = value * 16 + static_cast<unsigned>(d);
+    ++digits;
+    ++i;
+    if (digits > 4) fail_v6(text, "group has more than four hex digits", start);
+  }
+  if (digits == 0) fail_v6(text, "expected a hex group", start);
+  return static_cast<std::uint16_t>(value);
+}
+
+std::array<std::uint16_t, 8> address_groups(const Address6& addr) {
+  std::array<std::uint16_t, 8> groups{};
+  for (int g = 0; g < 8; ++g) {
+    const std::uint64_t limb = g < 4 ? addr.hi : addr.lo;
+    const unsigned shift = 48 - 16 * (static_cast<unsigned>(g) % 4);
+    groups[static_cast<std::size_t>(g)] =
+        static_cast<std::uint16_t>((limb >> shift) & 0xffff);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::string AddressFamily<Address6>::to_string(const Address6& addr) {
+  const auto groups = address_groups(addr);
+  // RFC 5952: compress the longest run of zero groups (>= 2), leftmost on
+  // ties; everything lowercase, no leading zeros within a group.
+  int best_start = -1;
+  int best_len = 1;  // runs of length 1 are never compressed
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Address6 AddressFamily<Address6>::parse(std::string_view text) {
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool compressed = false;
+  std::size_t i = 0;
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    compressed = true;
+    i = 2;
+  } else if (!text.empty() && text[0] == ':') {
+    fail_v6(text, "expected a hex group", 0);
+  }
+  while (i < text.size()) {
+    auto& side = compressed ? tail : head;
+    side.push_back(scan_group(text, i));
+    if (i == text.size()) break;
+    if (text[i] != ':') fail_v6(text, "expected ':'", i);
+    ++i;
+    if (i < text.size() && text[i] == ':') {
+      if (compressed) fail_v6(text, "more than one \"::\"", i - 1);
+      compressed = true;
+      ++i;
+    } else if (i == text.size()) {
+      fail_v6(text, "trailing ':'", i - 1);
+    }
+  }
+  if (!compressed && head.size() != 8) {
+    fail_v6(text, "expected eight groups (or a \"::\")", text.size());
+  }
+  if (compressed && head.size() + tail.size() > 7) {
+    fail_v6(text, "\"::\" must stand for at least one zero group",
+            text.size());
+  }
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t g = 0; g < head.size(); ++g) groups[g] = head[g];
+  for (std::size_t g = 0; g < tail.size(); ++g) {
+    groups[8 - tail.size() + g] = tail[g];
+  }
+  Address6 addr;
+  for (std::size_t g = 0; g < 4; ++g) {
+    addr.hi = (addr.hi << 16) | groups[g];
+    addr.lo = (addr.lo << 16) | groups[g + 4];
+  }
+  return addr;
+}
+
+Address6 AddressFamily<Address6>::random(Rng& rng) {
+  const std::uint64_t hi = rng();
+  const std::uint64_t lo = rng();
+  return Address6{hi, lo};
+}
+
+std::string address6_to_string(const Address6& addr) {
+  return AddressFamily<Address6>::to_string(addr);
+}
+
+Address6 parse_address6(const std::string& text) {
+  return AddressFamily<Address6>::parse(text);
+}
+
+}  // namespace treecache::fib

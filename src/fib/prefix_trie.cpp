@@ -1,13 +1,15 @@
 #include "fib/prefix_trie.hpp"
 
+#include "fib/ipv6.hpp"
+
 namespace treecache::fib {
 
-bool PrefixTrie::insert(Prefix prefix, RuleId rule) {
+template <typename PrefixT>
+bool BasicPrefixTrie<PrefixT>::insert(const PrefixT& prefix, RuleId rule) {
   TC_CHECK(rule != kNoRule, "rule id reserved");
   std::uint32_t node = 0;
-  for (int i = 0; i < prefix.length; ++i) {
-    const int bit = 31 - i;
-    const std::uint32_t branch = (prefix.bits >> bit) & 1;
+  for (unsigned i = 0; i < prefix.length; ++i) {
+    const std::uint32_t branch = key_bit(prefix.bits, i) ? 1 : 0;
     if (nodes_[node].child[branch] == 0) {
       nodes_[node].child[branch] = static_cast<std::uint32_t>(nodes_.size());
       nodes_.push_back(Node{});
@@ -20,11 +22,13 @@ bool PrefixTrie::insert(Prefix prefix, RuleId rule) {
   return true;
 }
 
-std::optional<RuleId> PrefixTrie::exact(Prefix prefix) const {
+template <typename PrefixT>
+std::optional<RuleId> BasicPrefixTrie<PrefixT>::exact(
+    const PrefixT& prefix) const {
   std::uint32_t node = 0;
-  for (int i = 0; i < prefix.length; ++i) {
-    const int bit = 31 - i;
-    const std::uint32_t child = nodes_[node].child[(prefix.bits >> bit) & 1];
+  for (unsigned i = 0; i < prefix.length; ++i) {
+    const std::uint32_t child =
+        nodes_[node].child[key_bit(prefix.bits, i) ? 1 : 0];
     if (child == 0) return std::nullopt;
     node = child;
   }
@@ -32,17 +36,22 @@ std::optional<RuleId> PrefixTrie::exact(Prefix prefix) const {
   return nodes_[node].rule;
 }
 
-std::optional<RuleId> PrefixTrie::parent_rule(Prefix prefix) const {
+template <typename PrefixT>
+std::optional<RuleId> BasicPrefixTrie<PrefixT>::parent_rule(
+    const PrefixT& prefix) const {
   std::optional<RuleId> best;
   std::uint32_t node = 0;
-  for (int i = 0; i < prefix.length; ++i) {
+  for (unsigned i = 0; i < prefix.length; ++i) {
     if (nodes_[node].rule != kNoRule) best = nodes_[node].rule;
-    const int bit = 31 - i;
-    const std::uint32_t child = nodes_[node].child[(prefix.bits >> bit) & 1];
+    const std::uint32_t child =
+        nodes_[node].child[key_bit(prefix.bits, i) ? 1 : 0];
     if (child == 0) break;
     node = child;
   }
   return best;
 }
+
+template class BasicPrefixTrie<Prefix>;
+template class BasicPrefixTrie<Prefix6>;
 
 }  // namespace treecache::fib

@@ -33,13 +33,55 @@ const std::vector<double>& default_length_histogram() {
   return histogram;
 }
 
-std::vector<Prefix> generate_rib(const RibConfig& config, Rng& rng) {
+const std::vector<double>& default_length_histogram6() {
+  // Relative masses for /0../128, modelled on the global IPv6 table:
+  // dominant mass at /48 (site assignments), ridges at /32 (RIR
+  // allocations), /29, /40, /44, and a /64 tail. Only lengths up to /64
+  // carry mass — like /24 for IPv4, nothing longer propagates globally.
+  static const std::vector<double> histogram = [] {
+    std::vector<double> h(129, 0.0);
+    h[16] = 0.2;
+    h[20] = 0.3;
+    h[24] = 0.6;
+    h[28] = 1.0;
+    h[29] = 3.0;
+    h[32] = 12.0;
+    h[36] = 3.0;
+    h[40] = 4.5;
+    h[44] = 5.0;
+    h[48] = 48.0;
+    h[52] = 1.5;
+    h[56] = 4.0;
+    h[60] = 1.0;
+    h[64] = 6.0;
+    return h;
+  }();
+  return histogram;
+}
+
+template <typename PrefixT>
+std::vector<PrefixT> generate_prefixes(const RibConfig& config,
+                                       const std::vector<double>& histogram,
+                                       Rng& rng) {
+  using Bits = typename PrefixT::Bits;
+  using Family = AddressFamily<Bits>;
+  constexpr unsigned kWidth = PrefixT::kWidth;
   TC_CHECK(config.rules >= 1, "need at least one rule");
-  TC_CHECK(config.max_length >= 8 && config.max_length <= 32,
-           "max_length must be in [8, 32]");
+  TC_CHECK(histogram.size() == kWidth + 1,
+           "histogram must cover lengths 0..kWidth");
+
+  // The shortest length carrying histogram mass bounds samples from below
+  // (8 for the IPv4 shape: nothing shorter than a /8 is ever generated).
+  std::uint8_t min_length = 0;
+  while (min_length <= kWidth &&
+         histogram[min_length] == 0.0) {
+    ++min_length;
+  }
+  TC_CHECK(min_length <= kWidth, "empty length histogram");
+  TC_CHECK(config.max_length >= min_length && config.max_length <= kWidth,
+           "max_length out of the histogram's range");
 
   // Length sampler restricted to [0, max_length].
-  const auto& histogram = default_length_histogram();
   std::vector<double> cdf(config.max_length + 1, 0.0);
   double acc = 0.0;
   for (std::size_t len = 0; len < cdf.size(); ++len) {
@@ -53,34 +95,49 @@ std::vector<Prefix> generate_rib(const RibConfig& config, Rng& rng) {
     return static_cast<std::uint8_t>(it - cdf.begin());
   };
 
-  std::set<Prefix> unique;
-  std::vector<Prefix> rib;
+  std::set<PrefixT> unique;
+  std::vector<PrefixT> rib;
   rib.reserve(config.rules);
   std::size_t attempts = 0;
   const std::size_t max_attempts = config.rules * 64 + 4096;
   while (rib.size() < config.rules) {
     TC_CHECK(++attempts <= max_attempts,
              "RIB generation stalled; relax the configuration");
-    Prefix candidate;
+    PrefixT candidate;
     if (!rib.empty() && rng.chance(config.deaggregation)) {
       // Deaggregate an existing prefix: extend by 1..8 bits.
-      const Prefix base = rib[rng.below(rib.size())];
+      const PrefixT base = rib[rng.below(rib.size())];
       const auto extra = static_cast<std::uint8_t>(1 + rng.below(8));
       const std::uint8_t length = std::min<std::uint8_t>(
           config.max_length, static_cast<std::uint8_t>(base.length + extra));
       if (length <= base.length) continue;
-      // Random bits exactly in positions (32-length) .. (32-base.length-1).
-      const Address high = (Address{1} << (32 - base.length)) - 1;
-      const Address low = (Address{1} << (32 - length)) - 1;
-      const Address suffix = static_cast<Address>(rng()) & (high & ~low);
-      candidate = Prefix::make(base.bits | suffix, length);
+      // Random bits exactly in positions base.length .. length-1 (MSB
+      // numbering): the part of the new mask beyond the base's mask.
+      const Bits span =
+          prefix_mask<Bits>(length) & ~prefix_mask<Bits>(base.length);
+      const Bits suffix = Family::random(rng) & span;
+      candidate = PrefixT::make(base.bits | suffix, length);
     } else {
-      const std::uint8_t length = std::max<std::uint8_t>(8, sample_length());
-      candidate = Prefix::make(static_cast<Address>(rng()), length);
+      const std::uint8_t length =
+          std::max<std::uint8_t>(min_length, sample_length());
+      candidate = PrefixT::make(Family::random(rng), length);
     }
     if (unique.insert(candidate).second) rib.push_back(candidate);
   }
   return rib;
+}
+
+template std::vector<Prefix> generate_prefixes<Prefix>(
+    const RibConfig&, const std::vector<double>&, Rng&);
+template std::vector<Prefix6> generate_prefixes<Prefix6>(
+    const RibConfig&, const std::vector<double>&, Rng&);
+
+std::vector<Prefix> generate_rib(const RibConfig& config, Rng& rng) {
+  return generate_prefixes<Prefix>(config, default_length_histogram(), rng);
+}
+
+std::vector<Prefix6> generate_rib6(const RibConfig& config, Rng& rng) {
+  return generate_prefixes<Prefix6>(config, default_length_histogram6(), rng);
 }
 
 }  // namespace treecache::fib

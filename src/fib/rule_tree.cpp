@@ -4,21 +4,22 @@
 
 namespace treecache::fib {
 
-RuleTree build_rule_tree(std::vector<Prefix> prefixes) {
-  // Sort by length (parents first), then lexicographically; drop duplicates
+template <typename PrefixT>
+BasicRuleTree<PrefixT> build_rule_tree(std::vector<PrefixT> prefixes) {
+  // Sort by length (parents first), then numerically; drop duplicates
   // and any explicit default route (it is the artificial root).
   std::sort(prefixes.begin(), prefixes.end(),
-            [](const Prefix& a, const Prefix& b) {
+            [](const PrefixT& a, const PrefixT& b) {
               return a.length != b.length ? a.length < b.length
                                           : a.bits < b.bits;
             });
   prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
                  prefixes.end());
-  std::erase_if(prefixes, [](const Prefix& p) { return p.length == 0; });
+  std::erase_if(prefixes, [](const PrefixT& p) { return p.length == 0; });
 
-  std::vector<Prefix> node_prefix;
+  std::vector<PrefixT> node_prefix;
   node_prefix.reserve(prefixes.size() + 1);
-  node_prefix.push_back(Prefix{});  // node 0: 0.0.0.0/0
+  node_prefix.push_back(PrefixT{});  // node 0: the /0 default rule
 
   std::vector<NodeId> parent;
   parent.reserve(prefixes.size() + 1);
@@ -27,16 +28,19 @@ RuleTree build_rule_tree(std::vector<Prefix> prefixes) {
   // Because parents are shorter and inserted first, parent_rule() resolves
   // each prefix's longest proper ancestor among already-inserted rules,
   // which is its final parent.
-  PrefixTrie trie;
-  TC_CHECK(trie.insert(Prefix{}, 0), "fresh trie must accept the root");
-  for (const Prefix& p : prefixes) {
+  BasicPrefixTrie<PrefixT> trie;
+  TC_CHECK(trie.insert(PrefixT{}, 0), "fresh trie must accept the root");
+  for (const PrefixT& p : prefixes) {
     const auto node = static_cast<NodeId>(node_prefix.size());
     parent.push_back(trie.parent_rule(p).value_or(0));
     TC_CHECK(trie.insert(p, node), "duplicate prefix after dedupe");
     node_prefix.push_back(p);
   }
-  return RuleTree{Tree(std::move(parent)), std::move(node_prefix),
-                  std::move(trie)};
+  return BasicRuleTree<PrefixT>{Tree(std::move(parent)),
+                                std::move(node_prefix), std::move(trie)};
 }
+
+template RuleTree build_rule_tree<Prefix>(std::vector<Prefix>);
+template RuleTree6 build_rule_tree<Prefix6>(std::vector<Prefix6>);
 
 }  // namespace treecache::fib

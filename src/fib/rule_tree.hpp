@@ -2,35 +2,45 @@
 //
 // The forwarding rules of a FIB form an implicit tree under prefix
 // inclusion: the parent of a rule is its longest proper ancestor prefix.
-// An artificial default rule 0.0.0.0/0 (node 0) roots the tree; it
-// forwards unmatched packets to the controller (Figure 1). Tree caching
-// runs on exactly this tree: caching a rule requires caching all of its
+// An artificial default rule /0 (node 0) roots the tree; it forwards
+// unmatched packets to the controller (Figure 1). Tree caching runs on
+// exactly this tree: caching a rule requires caching all of its
 // more-specific descendants, which is what makes LPM over the cached
-// subset return correct egress ports.
+// subset return correct egress ports. Generic over the key width:
+// RuleTree is the IPv4 instantiation, RuleTree6 the IPv6 one.
 #pragma once
 
 #include <vector>
 
+#include "fib/ipv6.hpp"
 #include "fib/prefix_trie.hpp"
 #include "tree/tree.hpp"
 
 namespace treecache::fib {
 
-struct RuleTree {
-  Tree tree;                   // node 0 = artificial default rule
-  std::vector<Prefix> prefix;  // per tree node
-  PrefixTrie trie;             // LPM over ALL rules → tree node id
+template <typename PrefixT>
+struct BasicRuleTree {
+  using Bits = typename PrefixT::Bits;
+
+  Tree tree;                    // node 0 = artificial default rule
+  std::vector<PrefixT> prefix;  // per tree node
+  BasicPrefixTrie<PrefixT> trie;  // LPM over ALL rules → tree node id
 
   /// Full-table longest-prefix match; node 0 (default rule) if nothing
   /// more specific matches.
-  [[nodiscard]] NodeId lpm(Address addr) const {
+  [[nodiscard]] NodeId lpm(const Bits& addr) const {
     return trie.lookup(addr).value_or(0);
   }
 };
 
+using RuleTree = BasicRuleTree<Prefix>;
+using RuleTree6 = BasicRuleTree<Prefix6>;
+
 /// Builds the rule tree from a set of prefixes. Duplicates are dropped; a
-/// 0.0.0.0/0 entry, if present, merges into the artificial root. Node ids
-/// are assigned so that parents precede children (sorted by prefix length).
-[[nodiscard]] RuleTree build_rule_tree(std::vector<Prefix> prefixes);
+/// /0 entry, if present, merges into the artificial root. Node ids are
+/// assigned so that parents precede children (sorted by prefix length).
+template <typename PrefixT>
+[[nodiscard]] BasicRuleTree<PrefixT> build_rule_tree(
+    std::vector<PrefixT> prefixes);
 
 }  // namespace treecache::fib

@@ -1,0 +1,263 @@
+#include "rib/feed.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <system_error>
+
+#include "fib/rib_gen.hpp"
+
+namespace treecache::rib {
+
+namespace {
+
+/// A fresh more-specific prefix: extends a random live prefix by 1..8
+/// bits (falling back to a random max-length prefix when nothing
+/// extensible comes up).
+template <typename PrefixT>
+PrefixT extend(const std::vector<PrefixT>& live, std::uint8_t max_length,
+               Rng& rng) {
+  using Bits = typename PrefixT::Bits;
+  using Family = fib::AddressFamily<Bits>;
+  if (!live.empty()) {
+    for (int tries = 0; tries < 16; ++tries) {
+      const PrefixT base = live[rng.below(live.size())];
+      const auto extra = static_cast<std::uint8_t>(1 + rng.below(8));
+      const std::uint8_t length = std::min<std::uint8_t>(
+          max_length, static_cast<std::uint8_t>(base.length + extra));
+      if (length <= base.length) continue;
+      const Bits span = fib::prefix_mask<Bits>(length) &
+                        ~fib::prefix_mask<Bits>(base.length);
+      return PrefixT::make(base.bits | (Family::random(rng) & span), length);
+    }
+  }
+  return PrefixT::make(Family::random(rng), max_length);
+}
+
+[[noreturn]] void fail_line(std::size_t line_number, const std::string& what,
+                            const std::string& line) {
+  throw CheckFailure("feed line " + std::to_string(line_number) + ": " + what +
+                     " (got \"" + line + "\")");
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+}
+
+std::uint64_t parse_decimal(const std::string& field, const char* what,
+                            std::size_t line_number, const std::string& line) {
+  std::uint64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || end != field.data() + field.size() ||
+      field.empty()) {
+    fail_line(line_number, std::string("malformed ") + what, line);
+  }
+  return value;
+}
+
+/// Parses the prefix field, auto-detecting the family, into `record`.
+void parse_prefix_field(const std::string& field, FeedRecord& record,
+                        std::size_t line_number, const std::string& line) {
+  try {
+    if (field.find(':') != std::string::npos) {
+      record.v6 = true;
+      record.prefix6 = fib::Prefix6::parse(field);
+    } else {
+      record.v6 = false;
+      record.prefix4 = fib::Prefix::parse(field);
+    }
+  } catch (const CheckFailure& e) {
+    fail_line(line_number, e.what(), line);
+  }
+}
+
+}  // namespace
+
+FeedRecord parse_feed_line(const std::string& line, std::size_t line_number) {
+  const std::vector<std::string> fields = split_fields(line);
+  FeedRecord record;
+  if (fields[0] == "TABLE_DUMP") {
+    if (fields.size() != 3) {
+      fail_line(line_number, "TABLE_DUMP takes exactly 2 fields", line);
+    }
+    record.op = FeedOp::kDump;
+    parse_prefix_field(fields[1], record, line_number, line);
+    record.next_hop = static_cast<NextHop>(
+        parse_decimal(fields[2], "next-hop id", line_number, line));
+    return record;
+  }
+  if (fields.size() < 2) {
+    fail_line(line_number, "expected TABLE_DUMP or a timestamped update",
+              line);
+  }
+  record.timestamp = parse_decimal(fields[0], "timestamp", line_number, line);
+  if (fields[1] == "announce") {
+    if (fields.size() != 4) {
+      fail_line(line_number, "announce takes exactly 3 fields", line);
+    }
+    record.op = FeedOp::kAnnounce;
+    parse_prefix_field(fields[2], record, line_number, line);
+    record.next_hop = static_cast<NextHop>(
+        parse_decimal(fields[3], "next-hop id", line_number, line));
+    return record;
+  }
+  if (fields[1] == "withdraw") {
+    if (fields.size() != 3) {
+      fail_line(line_number, "withdraw takes exactly 2 fields", line);
+    }
+    record.op = FeedOp::kWithdraw;
+    parse_prefix_field(fields[2], record, line_number, line);
+    return record;
+  }
+  fail_line(line_number, "unknown update op \"" + fields[1] + "\"", line);
+}
+
+std::string format_feed_record(const FeedRecord& record) {
+  const std::string prefix =
+      record.v6 ? record.prefix6.to_string() : record.prefix4.to_string();
+  switch (record.op) {
+    case FeedOp::kDump:
+      return "TABLE_DUMP|" + prefix + "|" + std::to_string(record.next_hop);
+    case FeedOp::kAnnounce:
+      return std::to_string(record.timestamp) + "|announce|" + prefix + "|" +
+             std::to_string(record.next_hop);
+    case FeedOp::kWithdraw:
+      return std::to_string(record.timestamp) + "|withdraw|" + prefix;
+  }
+  TC_CHECK(false, "unreachable feed op");
+}
+
+FeedReader::FeedReader(std::vector<std::string> paths)
+    : paths_(std::move(paths)) {
+  TC_CHECK(!paths_.empty(), "FeedReader needs at least one path");
+}
+
+bool FeedReader::open_next_file() {
+  while (file_ < paths_.size()) {
+    in_.close();
+    in_.clear();
+    in_.open(paths_[file_]);
+    TC_CHECK(in_.is_open(), "cannot open feed file " + paths_[file_]);
+    in_open_ = true;
+    line_number_ = 0;
+    ++file_;
+    return true;
+  }
+  in_open_ = false;
+  return false;
+}
+
+std::optional<FeedRecord> FeedReader::next() {
+  while (true) {
+    if (!in_open_ && !open_next_file()) return std::nullopt;
+    std::string line;
+    if (!std::getline(in_, line)) {
+      in_open_ = false;
+      continue;  // next file, if any
+    }
+    ++line_number_;
+    // Tolerate CRLF feeds.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = 0;
+    while (first < line.size() &&
+           (line[first] == ' ' || line[first] == '\t')) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+    try {
+      ++records_;
+      return parse_feed_line(line, line_number_);
+    } catch (const CheckFailure& e) {
+      throw CheckFailure(paths_[file_ - 1] + ": " + e.what());
+    }
+  }
+}
+
+std::vector<FeedRecord> generate_feed(const SyntheticFeedConfig& config,
+                                      Rng& rng) {
+  TC_CHECK(config.family == 4 || config.family == 6 || config.family == 46,
+           "family must be 4, 6, or 46");
+  std::vector<FeedRecord> out;
+
+  // Live tables per family, for update targeting. Parallel next-hop
+  // bookkeeping keeps re-announces honest (a fresh hop every time).
+  std::vector<fib::Prefix> live4;
+  std::vector<fib::Prefix6> live6;
+  const auto next_hop = [&rng] {
+    return static_cast<NextHop>(1 + rng.below(65535));
+  };
+
+  fib::RibConfig rib_config;
+  rib_config.rules = config.routes;
+  rib_config.deaggregation = config.deaggregation;
+  if (config.family != 6) {
+    rib_config.max_length = config.max_length4;
+    live4 = fib::generate_rib(rib_config, rng);
+    for (const fib::Prefix& p : live4) {
+      out.push_back(FeedRecord{
+          .op = FeedOp::kDump, .v6 = false, .prefix4 = p,
+          .next_hop = next_hop()});
+    }
+  }
+  if (config.family != 4) {
+    rib_config.max_length = config.max_length6;
+    live6 = fib::generate_rib6(rib_config, rng);
+    for (const fib::Prefix6& p : live6) {
+      out.push_back(FeedRecord{
+          .op = FeedOp::kDump, .v6 = true, .prefix6 = p,
+          .next_hop = next_hop()});
+    }
+  }
+
+  // Update stream: each event picks a family (when both are present),
+  // then withdraws a live route or announces (re-route or a fresh
+  // more-specific extension of a live route, 1..8 extra bits).
+  for (std::size_t i = 0; i < config.updates; ++i) {
+    const std::uint64_t timestamp = config.base_timestamp + i;
+    const bool use6 =
+        config.family == 6 || (config.family == 46 && rng.chance(0.5));
+    FeedRecord record;
+    record.timestamp = timestamp;
+    record.v6 = use6;
+    const std::size_t live_count = use6 ? live6.size() : live4.size();
+    if (live_count > 1 && rng.chance(config.withdraw_probability)) {
+      record.op = FeedOp::kWithdraw;
+      const std::size_t victim = rng.below(live_count);
+      if (use6) {
+        record.prefix6 = live6[victim];
+        live6.erase(live6.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else {
+        record.prefix4 = live4[victim];
+        live4.erase(live4.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    } else {
+      record.op = FeedOp::kAnnounce;
+      record.next_hop = next_hop();
+      const bool fresh =
+          live_count == 0 || rng.chance(config.fresh_announce_probability);
+      if (use6) {
+        record.prefix6 = fresh ? extend(live6, config.max_length6, rng)
+                               : live6[rng.below(live6.size())];
+        if (fresh) live6.push_back(record.prefix6);
+      } else {
+        record.prefix4 = fresh ? extend(live4, config.max_length4, rng)
+                               : live4[rng.below(live4.size())];
+        if (fresh) live4.push_back(record.prefix4);
+      }
+    }
+    out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace treecache::rib

@@ -1,0 +1,97 @@
+// Line-oriented MRT-style RIB feed format: the linearized form of a BGP
+// table dump plus its update stream (what `bgpdump -m` emits from
+// Route-Views MRT files, reduced to the fields the cache model uses).
+//
+// Grammar (one record per line; '#' starts a comment, blank lines skip):
+//   TABLE_DUMP|<prefix>|<next-hop-id>             snapshot route
+//   <timestamp>|announce|<prefix>|<next-hop-id>   update: add/replace
+//   <timestamp>|withdraw|<prefix>                 update: delete
+// <prefix> is IPv4 dotted-quad or IPv6 hex-group form, auto-detected per
+// line by the presence of ':'; <next-hop-id> and <timestamp> are decimal.
+// Parse errors throw CheckFailure carrying the 1-based line number, in
+// the same style as core/trace.hpp's parse_request_line.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fib/ipv6.hpp"
+#include "rib/rib_table.hpp"
+#include "util/rng.hpp"
+
+namespace treecache::rib {
+
+enum class FeedOp : std::uint8_t { kDump, kAnnounce, kWithdraw };
+
+/// One parsed feed line. Exactly one of prefix4/prefix6 is meaningful,
+/// selected by `v6`.
+struct FeedRecord {
+  FeedOp op = FeedOp::kDump;
+  std::uint64_t timestamp = 0;  // update lines only
+  bool v6 = false;
+  fib::Prefix prefix4{};   // valid when !v6
+  fib::Prefix6 prefix6{};  // valid when v6
+  NextHop next_hop = 0;    // dump/announce lines only
+
+  friend bool operator==(const FeedRecord&, const FeedRecord&) = default;
+};
+
+/// Parses one non-comment, non-blank feed line. Throws CheckFailure
+/// naming `line_number` (1-based) on malformed input.
+[[nodiscard]] FeedRecord parse_feed_line(const std::string& line,
+                                         std::size_t line_number);
+
+/// Serializes a record in the exact grammar parse_feed_line accepts.
+[[nodiscard]] std::string format_feed_record(const FeedRecord& record);
+
+/// Streams feed files line by line (never slurps — feeds can be
+/// internet-table sized). Multiple paths are read back to back, so a
+/// snapshot dump and an update feed can live in separate files. Errors
+/// name the file and line.
+class FeedReader {
+ public:
+  explicit FeedReader(std::vector<std::string> paths);
+
+  /// The next record, or nullopt at end of the last file.
+  std::optional<FeedRecord> next();
+
+  /// Records returned so far.
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+ private:
+  bool open_next_file();
+
+  std::vector<std::string> paths_;
+  std::size_t file_ = 0;  // index of the NEXT path to open
+  std::ifstream in_;
+  bool in_open_ = false;
+  std::size_t line_number_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+/// Synthetic feed generator — the source of the checked-in CI fixtures,
+/// so no external BGP data is ever needed. Emits a TABLE_DUMP snapshot of
+/// `routes` prefixes (per family) followed by `updates` timestamped
+/// events over the same table: re-announces with a new next hop, fresh
+/// more-specific announces, and withdraws of live routes.
+struct SyntheticFeedConfig {
+  std::size_t routes = 256;
+  std::size_t updates = 64;
+  int family = 4;  // 4 = IPv4, 6 = IPv6, 46 = both (v4 dump first)
+  double withdraw_probability = 0.35;
+  /// Probability that an announce introduces a fresh more-specific
+  /// prefix instead of re-routing an existing one.
+  double fresh_announce_probability = 0.3;
+  std::uint8_t max_length4 = 24;
+  std::uint8_t max_length6 = 64;
+  double deaggregation = 0.45;
+  std::uint64_t base_timestamp = 1704067200;  // 2024-01-01 00:00:00 UTC
+};
+
+[[nodiscard]] std::vector<FeedRecord> generate_feed(
+    const SyntheticFeedConfig& config, Rng& rng);
+
+}  // namespace treecache::rib

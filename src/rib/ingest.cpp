@@ -1,0 +1,64 @@
+#include "rib/ingest.hpp"
+
+namespace treecache::rib {
+
+namespace {
+
+template <typename PrefixT>
+void apply_family(BasicIngest<PrefixT>& family, const FeedRecord& record,
+                  const PrefixT& prefix) {
+  family.touched.insert(prefix);
+  switch (record.op) {
+    case FeedOp::kDump:
+      ++family.stats.dump_routes;
+      if (!family.rib.route_add(prefix, record.next_hop)) {
+        ++family.stats.replaced_routes;
+      }
+      break;
+    case FeedOp::kAnnounce:
+      ++family.stats.announces;
+      if (!family.rib.route_add(prefix, record.next_hop)) {
+        ++family.stats.replaced_routes;
+      }
+      family.churn.push_back(prefix);
+      break;
+    case FeedOp::kWithdraw:
+      ++family.stats.withdraws;
+      if (!family.rib.route_delete(prefix)) {
+        ++family.stats.withdraw_misses;
+      }
+      family.churn.push_back(prefix);
+      break;
+  }
+}
+
+}  // namespace
+
+void IngestResult::apply(const FeedRecord& record) {
+  ++records;
+  if (record.v6) {
+    apply_family(v6, record, record.prefix6);
+  } else {
+    apply_family(v4, record, record.prefix4);
+  }
+}
+
+IngestResult ingest_feed(const std::vector<std::string>& paths) {
+  IngestResult result;
+  FeedReader reader(paths);
+  while (const auto record = reader.next()) {
+    result.apply(*record);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> depth_histogram(const Tree& tree) {
+  std::vector<std::uint64_t> histogram(tree.height(), 0);
+  const auto n = static_cast<NodeId>(tree.size());
+  for (NodeId v = 0; v < n; ++v) {
+    ++histogram[tree.depth(v)];
+  }
+  return histogram;
+}
+
+}  // namespace treecache::rib

@@ -15,6 +15,7 @@
 #include "engine/shard_plan.hpp"
 #include "fib/fib_workloads.hpp"
 #include "fib/router_source.hpp"
+#include "rib/workloads.hpp"
 #include "sim/registry.hpp"
 #include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
@@ -29,6 +30,9 @@ sim::Params smoke_params() {
   p.set("capacity", "8");
   p.set("length", "600");
   p.set("rules", "60");  // keep the fib* substrate test-sized
+  // fib-real replays the checked-in fixture feed; other workloads ignore
+  // the parameter.
+  p.set("rib-feed", std::string(TREECACHE_TEST_DATA_DIR) + "/rib_v4.feed");
   return p;
 }
 
@@ -340,19 +344,28 @@ TEST(ShardedEngine, ResultsInvariantAcrossThreadCounts) {
 TEST(ShardedEngine, WarnsWhenSplitFallsBackToReplication) {
   // An open-loop source whose split() merely forks the stream per shard
   // (SplitKind::kReplicated) regenerates it S times; the engine says so
-  // on stderr. Shared-generation splits stay quiet.
+  // on stderr — once per process, however many runs replicate (a sweep
+  // over a replicating workload must not spam one line per cell).
+  // Shared-generation splits stay quiet.
   const Tree tree = trees::complete_kary(3, 4);
   const sim::Params params = engine_params();
   {
     engine::ShardedEngine eng(tree, "tc", params,
                               {.shards = 4, .threads = 2});
+    // Other tests in this binary may already have consumed the
+    // once-per-process warning; re-arm so this run is the first.
+    engine::rearm_replicated_split_warning();
     const auto source = sim::make_source("zipf", tree, params, 7);
     EXPECT_EQ(source->split_kind(), SplitKind::kReplicated);
     testing::internal::CaptureStderr();
     (void)eng.run(*source);
-    EXPECT_NE(testing::internal::GetCapturedStderr().find(
-                  "replicated generation"),
-              std::string::npos);
+    const std::string first = testing::internal::GetCapturedStderr();
+    EXPECT_NE(first.find("replicated generation"), std::string::npos);
+    // Deduplicated: the identical second run stays silent.
+    source->reset();
+    testing::internal::CaptureStderr();
+    (void)eng.run(*source);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
   }
   {
     const sim::Params fib_params = smoke_params();
@@ -498,8 +511,12 @@ TEST(StepBatch, MatchesScalarStepForEveryAlgorithmAndWorkload) {
     for (const std::string& w_name :
          sim::WorkloadRegistry::instance().names()) {
       SCOPED_TRACE(alg_name + " x " + w_name);
-      const Tree& tree =
-          fib::is_fib_workload_name(w_name) ? rule_tree.tree : generic_tree;
+      // fib-real first: its name also matches the fib* prefix.
+      const Tree& tree = rib::is_real_fib_workload_name(w_name)
+                             ? rib::shared_real_fib(params).tree()
+                             : fib::is_fib_workload_name(w_name)
+                                   ? rule_tree.tree
+                                   : generic_tree;
       const Trace trace = sim::make_workload(w_name, tree, params, 41);
 
       const auto scalar = sim::make_algorithm(alg_name, tree, params);

@@ -25,11 +25,15 @@ TEST(Ipv4, AddressRoundTrip) {
 }
 
 TEST(Ipv4, PrefixParseAndNormalize) {
-  const Prefix p = Prefix::parse("10.1.2.3/8");
+  // parse is strict (a feed line with host bits set is a data error, not
+  // something to silently round); make() is the normalizing constructor.
+  const Prefix p = Prefix::make(parse_address("10.1.2.3"), 8);
   EXPECT_EQ(p.to_string(), "10.0.0.0/8");  // low bits dropped
   EXPECT_EQ(p.length, 8);
   EXPECT_TRUE(p.contains(parse_address("10.255.0.1")));
   EXPECT_FALSE(p.contains(parse_address("11.0.0.1")));
+  EXPECT_EQ(Prefix::parse("10.0.0.0/8"), p);
+  EXPECT_EQ(Prefix::parse("0.0.0.0/0"), Prefix{});
 }
 
 TEST(Ipv4, PrefixContainsPrefix) {
@@ -46,6 +50,45 @@ TEST(Ipv4, RejectsMalformedInput) {
   EXPECT_THROW(Prefix::parse("10.0.0.0/33"), CheckFailure);
   EXPECT_THROW((void)parse_address("300.0.0.1"), CheckFailure);
   EXPECT_THROW((void)parse_address("10.0.0"), CheckFailure);
+}
+
+/// What a parse error says matters as much as that it throws: feed files
+/// are hand-edited and machine-generated, and the message must point at
+/// the offending byte. These are regression tests for the strict scanner.
+TEST(Ipv4, ParseErrorsNameTheProblemAndPosition) {
+  const auto message_of = [](auto&& parse) -> std::string {
+    try {
+      (void)parse();
+    } catch (const CheckFailure& e) {
+      return e.what();
+    }
+    return {};
+  };
+
+  // Out-of-range octet, with its 1-based column.
+  const std::string range =
+      message_of([] { return parse_address("10.256.0.1"); });
+  EXPECT_NE(range.find("octet out of range"), std::string::npos) << range;
+  EXPECT_NE(range.find("column 4"), std::string::npos) << range;
+  // Too many digits is distinct from out of range ("0000" is not 0..255).
+  EXPECT_NE(message_of([] { return parse_address("1.2.3.0000"); })
+                .find("more than three digits"),
+            std::string::npos);
+  // Trailing garbage after a well-formed address / prefix.
+  EXPECT_THROW((void)parse_address("10.0.0.1x"), CheckFailure);
+  EXPECT_THROW((void)parse_address("10.0.0.1 "), CheckFailure);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/8x"), CheckFailure);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/+8"), CheckFailure);
+  EXPECT_THROW(Prefix::parse("10.0.0.0/"), CheckFailure);
+  // Empty octets and missing dots.
+  EXPECT_THROW((void)parse_address("10..0.1"), CheckFailure);
+  EXPECT_THROW((void)parse_address(""), CheckFailure);
+  // Host bits set beyond the mask: rejected, and the message names the
+  // prefix, the length, and where the address starts.
+  const std::string host =
+      message_of([] { return Prefix::parse("10.1.2.3/8"); });
+  EXPECT_NE(host.find("host bits set beyond /8"), std::string::npos) << host;
+  EXPECT_NE(host.find("10.1.2.3/8"), std::string::npos) << host;
 }
 
 TEST(PrefixTrie, LpmBasics) {

@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "fib/fib_workloads.hpp"
+#include "rib/workloads.hpp"
 #include "sim/simulator.hpp"
 #include "tree/tree_builder.hpp"
 #include "util/rng.hpp"
@@ -37,7 +38,8 @@ TEST(Registry, ExpectedWorkloadsAreRegistered) {
   const auto names = sim::WorkloadRegistry::instance().names();
   for (const char* expected :
        {"uniform", "zipf", "zipfleaf", "hotspot", "churn", "fib",
-        "fib-stable", "fib-churn", "concat", "mix", "churn-inject"}) {
+        "fib-stable", "fib-churn", "fib-real", "concat", "mix",
+        "churn-inject"}) {
     EXPECT_TRUE(std::ranges::count(names, expected) == 1)
         << "missing workload registration: " << expected;
   }
@@ -94,14 +96,21 @@ TEST(Registry, EveryWorkloadProducesAValidTrace) {
   const Tree generic_tree = trees::random_recursive(40, rng);
   sim::Params params = smoke_params();
   params.set("rules", "60");  // keep the fib* substrate test-sized
-  // fib* workloads are only defined over their own RIB rule tree.
+  params.set("rib-feed",
+             std::string(TREECACHE_TEST_DATA_DIR) + "/rib_v4.feed");
+  // fib* workloads are only defined over their own RIB rule tree, and
+  // fib-real over the tree rebuilt from its feed (its name also matches
+  // the fib* prefix, so test it first).
   const fib::RuleTree rule_tree = fib::rule_tree_from_params(params);
 
   for (const std::string& name :
        sim::WorkloadRegistry::instance().names()) {
     SCOPED_TRACE("workload: " + name);
-    const Tree& tree =
-        fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
+    const Tree& tree = rib::is_real_fib_workload_name(name)
+                           ? rib::shared_real_fib(params).tree()
+                           : fib::is_fib_workload_name(name)
+                                 ? rule_tree.tree
+                                 : generic_tree;
     const Trace trace = sim::make_workload(name, tree, params, rng());
     EXPECT_FALSE(trace.empty());
     for (const Request& r : trace) {

@@ -16,6 +16,7 @@
 #include "fib/fib_workloads.hpp"
 #include "fib/router_source.hpp"
 #include "fib/traffic.hpp"
+#include "rib/workloads.hpp"
 #include "sim/fib_engine.hpp"
 #include "sim/registry.hpp"
 #include "sim/scenario.hpp"
@@ -33,7 +34,25 @@ sim::Params smoke_params() {
   p.set("capacity", "8");
   p.set("length", "600");
   p.set("rules", "60");  // keep the fib* substrate test-sized
+  // fib-real replays the checked-in fixture feed; other workloads ignore
+  // the parameter.
+  p.set("rib-feed", std::string(TREECACHE_TEST_DATA_DIR) + "/rib_v4.feed");
   return p;
+}
+
+/// The registry-wide loops run every workload, and each family of
+/// workloads is only defined over its own tree: fib* over the synthetic
+/// RIB rule tree, fib-real over the tree rebuilt from its feed, the rest
+/// over any tree. (fib-real must be tested first — its name also matches
+/// the fib* prefix.)
+const Tree& tree_for_workload(const std::string& name,
+                              const sim::Params& params,
+                              const Tree& rule_tree,
+                              const Tree& generic_tree) {
+  if (rib::is_real_fib_workload_name(name)) {
+    return rib::shared_real_fib(params).tree();
+  }
+  return fib::is_fib_workload_name(name) ? rule_tree : generic_tree;
 }
 
 Trace ones(std::size_t count, NodeId node) {
@@ -126,7 +145,7 @@ TEST(RegisteredWorkloads, ResetReplaysTheIdenticalStream) {
   for (const std::string& name : sim::WorkloadRegistry::instance().names()) {
     SCOPED_TRACE("workload: " + name);
     const Tree& tree =
-        fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
+        tree_for_workload(name, params, rule_tree.tree, generic_tree);
     const auto source = sim::make_source(name, tree, params, 21);
     const Trace first = materialize(*source);
     ASSERT_FALSE(first.empty());
@@ -149,7 +168,7 @@ TEST(RegisteredWorkloads, SplitPartitionsEveryStreamByShard) {
   for (const std::string& name : sim::WorkloadRegistry::instance().names()) {
     SCOPED_TRACE("workload: " + name);
     const Tree& tree =
-        fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
+        tree_for_workload(name, params, rule_tree.tree, generic_tree);
     const engine::ShardPlan plan(tree, 4);
     ASSERT_GE(plan.num_shards(), 2u);
 
@@ -220,7 +239,7 @@ TEST(RegisteredWorkloads, StreamedAndMaterializedRunsAreIdentical) {
   for (const std::string& name : sim::WorkloadRegistry::instance().names()) {
     SCOPED_TRACE("workload: " + name);
     const Tree& tree =
-        fib::is_fib_workload_name(name) ? rule_tree.tree : generic_tree;
+        tree_for_workload(name, params, rule_tree.tree, generic_tree);
 
     const auto streamed_alg = sim::make_algorithm("tc", tree, params);
     const auto source = sim::make_source(name, tree, params, 33);

@@ -1,0 +1,238 @@
+// The fib-real replay path end to end over the checked-in fixture feeds:
+// ingest, stream shape, source determinism (reset/fork/size_hint),
+// bit-identical engine runs across shard and thread geometries, and the
+// Appendix B canonicalization bound on a real-churn IPv6 trace — the
+// wide-key wind through prefix_trie, rule_tree and canonicalizer.
+#include "rib/churn_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tree_cache.hpp"
+#include "engine/sharded_engine.hpp"
+#include "fib/canonicalizer.hpp"
+#include "rib/ingest.hpp"
+#include "rib/workloads.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+#include "tree/tree_builder.hpp"
+
+namespace treecache::rib {
+namespace {
+
+std::string fixture(const char* name) {
+  return std::string(TREECACHE_TEST_DATA_DIR) + "/" + name;
+}
+
+sim::Params real_params(const char* feed_name, int family) {
+  sim::Params p;
+  p.set("alpha", "4");
+  p.set("capacity", "16");
+  p.set("rib-feed", fixture(feed_name));
+  p.set("family", std::to_string(family));
+  p.set("lookups-per-event", "8");
+  return p;
+}
+
+TEST(FixtureFeeds, IngestEndToEnd) {
+  const IngestResult both =
+      ingest_feed({fixture("rib_v4.feed"), fixture("rib_v6.feed")});
+  EXPECT_EQ(both.records, both.v4.stats.dump_routes + both.v4.stats.updates() +
+                              both.v6.stats.dump_routes +
+                              both.v6.stats.updates());
+  for (const auto* family : {"v4", "v6"}) {
+    SCOPED_TRACE(family);
+    const IngestStats& stats =
+        family == std::string("v4") ? both.v4.stats : both.v6.stats;
+    EXPECT_GT(stats.dump_routes, 0u);
+    EXPECT_GT(stats.announces, 0u);
+    EXPECT_GT(stats.withdraws, 0u);
+    EXPECT_EQ(stats.withdraw_misses, 0u);  // generator withdraws live only
+  }
+  // The live table: dump + new announces - withdraws.
+  EXPECT_EQ(both.v4.rib.size(),
+            both.v4.stats.dump_routes + both.v4.stats.announces -
+                both.v4.stats.replaced_routes - both.v4.stats.withdraws);
+  // Each family's records landed only in its own table.
+  EXPECT_FALSE(both.v4.empty());
+  EXPECT_FALSE(both.v6.empty());
+
+  // touched ⊇ live ∪ churned: every churn event resolves in the replay.
+  const ChurnReplay replay = make_churn_replay(both.v4);
+  EXPECT_EQ(replay.churn_nodes.size(), both.v4.stats.updates());
+  EXPECT_GE(both.v4.touched.size(), both.v4.rib.size());
+  for (const NodeId node : replay.churn_nodes) {
+    ASSERT_LT(node, replay.fib.tree.size());
+  }
+}
+
+TEST(FixtureFeeds, FamilyWithNoRecordsIsRefused) {
+  EXPECT_THROW((void)build_real_fib(real_params("rib_v4.feed", 6)),
+               CheckFailure);
+  EXPECT_THROW((void)build_real_fib(real_params("rib_v6.feed", 4)),
+               CheckFailure);
+}
+
+TEST(ChurnSource, StreamShapeIsLookupsThenAlphaChunks) {
+  const sim::Params params = real_params("rib_v4.feed", 4);
+  const RealFibReplay& replay = shared_real_fib(params);
+  const ChurnReplayConfig config{
+      .lookups_per_event = 8, .tail_lookups = 5, .zipf_skew = 1.0,
+      .alpha = 4};
+  RibChurnSource source(replay.v4, config, Rng(3));
+
+  const std::uint64_t events = replay.churn_events();
+  const std::uint64_t expected =
+      events * (config.lookups_per_event + config.alpha) +
+      config.tail_lookups;
+  EXPECT_EQ(source.size_hint(), std::optional<std::uint64_t>(expected));
+
+  const Trace trace = materialize(source);
+  ASSERT_EQ(trace.size(), expected);
+  EXPECT_EQ(source.size_hint(), std::optional<std::uint64_t>(0));
+
+  const std::size_t stride = config.lookups_per_event + config.alpha;
+  for (std::uint64_t e = 0; e < events; ++e) {
+    const std::size_t base = e * stride;
+    for (std::size_t i = 0; i < config.lookups_per_event; ++i) {
+      ASSERT_EQ(trace[base + i].sign, Sign::kPositive) << "event " << e;
+    }
+    // The α-chunk: alpha negatives, all to the churned rule's node.
+    const NodeId chunk_node = trace[base + config.lookups_per_event].node;
+    for (std::size_t i = 0; i < config.alpha; ++i) {
+      const Request& r = trace[base + config.lookups_per_event + i];
+      ASSERT_EQ(r.sign, Sign::kNegative) << "event " << e;
+      ASSERT_EQ(r.node, chunk_node) << "event " << e;
+    }
+  }
+  for (std::size_t i = trace.size() - config.tail_lookups; i < trace.size();
+       ++i) {
+    EXPECT_EQ(trace[i].sign, Sign::kPositive);
+  }
+}
+
+TEST(ChurnSource, ResetForkAndRegistryReplayIdentically) {
+  const sim::Params params = real_params("rib_v4.feed", 4);
+  const RealFibReplay& replay = shared_real_fib(params);
+  const Tree& tree = replay.tree();
+
+  const auto source = sim::make_source("fib-real", tree, params, 21);
+  const Trace first = materialize(*source);
+  ASSERT_FALSE(first.empty());
+  source->reset();
+  EXPECT_EQ(materialize(*source), first);
+
+  // fork() replays the identical stream even mid-consumption.
+  (void)materialize(*source, first.size() / 3);
+  const auto forked = source->fork();
+  ASSERT_NE(forked, nullptr);
+  EXPECT_EQ(materialize(*forked), first);
+
+  // A different seed is a different permutation/stream (the substrate is
+  // shared; the traffic is not).
+  const auto reseeded = sim::make_source("fib-real", tree, params, 22);
+  EXPECT_NE(materialize(*reseeded), first);
+
+  // The registered factory refuses a tree that is not the replay tree.
+  Rng rng(5);
+  const Tree other = trees::random_recursive(tree.size(), rng);
+  EXPECT_THROW((void)sim::make_source("fib-real", other, params, 21),
+               CheckFailure);
+}
+
+TEST(ChurnSource, Ipv6StreamReplaysAndResolvesInTree) {
+  const sim::Params params = real_params("rib_v6.feed", 6);
+  const RealFibReplay& replay = shared_real_fib(params);
+  EXPECT_EQ(replay.family, 6);
+  const Tree& tree = replay.tree();
+
+  const auto source = sim::make_source("fib-real", tree, params, 9);
+  const Trace first = materialize(*source);
+  ASSERT_FALSE(first.empty());
+  for (const Request& r : first) {
+    ASSERT_LT(r.node, tree.size());
+  }
+  source->reset();
+  EXPECT_EQ(materialize(*source), first);
+}
+
+TEST(ChurnSource, PureSnapshotFeedStillProducesLookups) {
+  // A dump with no updates has no churn events; the tail-lookups default
+  // keeps the stream non-empty (all positive).
+  sim::Params params = real_params("rib_v4.feed", 4);
+  const RealFibReplay& replay = shared_real_fib(params);
+  ChurnReplay snapshot{replay.v4->fib, {}};
+  RibChurnSource source(std::make_shared<const ChurnReplay>(snapshot),
+                        churn_config_from_params(params, false), Rng(2));
+  const Trace trace = materialize(source);
+  ASSERT_FALSE(trace.empty());
+  for (const Request& r : trace) {
+    ASSERT_EQ(r.sign, Sign::kPositive);
+  }
+}
+
+TEST(Engine, FibRealIsBitIdenticalAcrossGeometries) {
+  const sim::Params params = real_params("rib_v4.feed", 4);
+  const RealFibReplay& replay = shared_real_fib(params);
+  const Tree& tree = replay.tree();
+
+  // Same shard plan, varying worker threads: per-shard results must be
+  // bit-identical (the engine's determinism contract over the fib-real
+  // split). The source replays from the same seed each run.
+  std::vector<engine::EngineResult> results;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    engine::ShardedEngine eng(tree, "tc", params,
+                              {.shards = 8, .threads = threads,
+                               .batch = 128});
+    const auto source = sim::make_source("fib-real", tree, params, 77);
+    results.push_back(eng.run(*source));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].total, results[0].total) << "run " << i;
+    ASSERT_EQ(results[i].per_shard.size(), results[0].per_shard.size());
+    for (std::size_t s = 0; s < results[0].per_shard.size(); ++s) {
+      EXPECT_EQ(results[i].per_shard[s], results[0].per_shard[s])
+          << "shard " << s << " run " << i;
+    }
+  }
+
+  // And the unsharded run consumes the same stream: same round count.
+  engine::ShardedEngine single(tree, "tc", params, {.shards = 1});
+  const auto source = sim::make_source("fib-real", tree, params, 77);
+  const engine::EngineResult alone = single.run(*source);
+  EXPECT_EQ(alone.total.rounds, results[0].total.rounds);
+}
+
+TEST(Canonicalizer, FactorTwoBoundHoldsOnRealIpv6Churn) {
+  // Appendix B's canonicalization bound, exercised on the wide-key path:
+  // the chunked trace comes from real IPv6 feed churn, chunk boundaries
+  // from the known stream shape.
+  const sim::Params params = real_params("rib_v6.feed", 6);
+  const RealFibReplay& replay = shared_real_fib(params);
+  const ChurnReplayConfig config{
+      .lookups_per_event = 8, .tail_lookups = 0, .zipf_skew = 1.0,
+      .alpha = 4};
+  RibChurnSource6 source(replay.v6, config, Rng(31));
+
+  ChunkedTrace chunked;
+  chunked.trace = materialize(source);
+  const std::size_t stride = config.lookups_per_event + config.alpha;
+  for (std::size_t base = 0; base + stride <= chunked.trace.size();
+       base += stride) {
+    chunked.chunks.emplace_back(base + config.lookups_per_event,
+                                base + stride);
+  }
+  ASSERT_FALSE(chunked.chunks.empty());
+
+  TreeCache tc(replay.tree(), {.alpha = 4, .capacity = 16});
+  const auto report = fib::run_canonicalized(replay.tree(), chunked, tc);
+  EXPECT_EQ(report.chunks, chunked.chunks.size());
+  EXPECT_EQ(report.raw_cost.total(), tc.cost().total());
+  EXPECT_LE(report.canonical_cost.total(), 2 * report.raw_cost.total());
+}
+
+}  // namespace
+}  // namespace treecache::rib

@@ -19,6 +19,16 @@
 //              [--out tree.txt]
 //   gen-rib    --rules N [--deagg D] [--seed S] [--out tree.txt]
 //              [--prefixes prefixes.txt]
+//   gen-feed   --routes N --updates M [--family 4|6|46] [--seed S]
+//              [--withdraw-prob P] [--fresh-prob P] [--max-len L]
+//              [--max-len6 L] [--deagg D] [--out feed.txt]; emits a
+//              synthetic MRT-style dump+update feed (rib/feed.hpp
+//              grammar) — the source of the checked-in CI fixtures
+//   ingest     --rib-feed dump.feed[,updates.feed...] [--json out.json];
+//              streams the feed(s) into per-family radix RIBs
+//              (route_add/route_delete), rebuilds the replay FIBs, and
+//              reports routes, churn and tree depth histograms
+//              (schema treecache.ingest/1)
 //   gen-trace  --tree tree.txt --kind <workload> --length N [--skew Z]
 //              [--neg F] [--alpha A] [--update-prob P] [--seed S]
 //              [--out trace.txt]
@@ -41,7 +51,9 @@
 //              --capacities 64,256 --alphas 8,32 [--packets N]
 //              [--update-prob P] [--rules N] [--deagg D] [--max-len L]
 //              [--rib-seed S] [--seed S] [--shards S] [--threads N]
-//              [--batch B] [--feedback F] [--json out.json]; --shards > 1
+//              [--batch B] [--feedback F] [--json out.json];
+//              --rib-feed d.feed[,u.feed] swaps the synthetic RIB for
+//              the table ingested from a real feed; --shards > 1
 //              runs the closed loop sharded by top-level prefix
 //              (per-shard router mirrors off one shared event producer,
 //              fed back through per-shard outcome rings); results are
@@ -55,7 +67,9 @@
 // are one request per line ("+12" / "-3"); both match tree_io/trace I/O.
 // `--tree fib` derives the RIB rule tree from the same
 // --rules/--deagg/--max-len/--rib-seed flags the fib* workloads use, so
-// `run`/`sweep` can drive FIB workloads without an intermediate file.
+// `run`/`sweep` can drive FIB workloads without an intermediate file;
+// `--tree fib-real` derives the replay tree from --rib-feed/--family the
+// same way (what `--workload fib-real` expects).
 // `--json` writes the machine-readable result document (schemas in
 // sim/reporting.hpp); "-" means stdout.
 #include <array>
@@ -74,6 +88,10 @@
 #include "fib/fib_workloads.hpp"
 #include "fib/rib_gen.hpp"
 #include "fib/rule_tree.hpp"
+#include "rib/churn_source.hpp"
+#include "rib/feed.hpp"
+#include "rib/ingest.hpp"
+#include "rib/workloads.hpp"
 #include "sim/fib_engine.hpp"
 #include "sim/registry.hpp"
 #include "sim/reporting.hpp"
@@ -91,8 +109,8 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: treecache <list|gen-tree|gen-rib|gen-trace|run|throughput|"
-         "sweep|fib|opt|fields> [--flags]\n"
+      << "usage: treecache <list|gen-tree|gen-rib|gen-feed|gen-trace|run|"
+         "throughput|sweep|fib|ingest|opt|fields> [--flags]\n"
          "see the header of tools/treecache_cli.cpp for the full list\n";
   return 2;
 }
@@ -181,9 +199,14 @@ Tree load_tree(const Flags& flags) {
   const std::string path = flags.get("tree", "");
   TC_CHECK(!path.empty(), "--tree is required");
   // The special value "fib" derives the RIB rule tree from the same flags
-  // the fib* workloads read, so no intermediate tree file is needed.
+  // the fib* workloads read, so no intermediate tree file is needed;
+  // "fib-real" does the same for the feed-replay tree (--rib-feed,
+  // --family) the fib-real workload expects.
   if (path == "fib") {
     return fib::rule_tree_from_params(params_from(flags)).tree;
+  }
+  if (path == "fib-real") {
+    return rib::shared_real_fib(params_from(flags)).tree();
   }
   std::ifstream in(path);
   TC_CHECK(static_cast<bool>(in), "cannot open " + path);
@@ -250,6 +273,124 @@ int cmd_gen_rib(const Flags& flags) {
   }
   std::cerr << "rule tree: " << rt.tree.size() << " nodes, height "
             << rt.tree.height() << "\n";
+  return 0;
+}
+
+int cmd_gen_feed(const Flags& flags) {
+  rib::SyntheticFeedConfig config;
+  config.routes = flags.get_u64("routes", config.routes);
+  config.updates = flags.get_u64("updates", config.updates);
+  config.family = static_cast<int>(flags.get_u64("family", 4));
+  config.withdraw_probability =
+      flags.get_double("withdraw-prob", config.withdraw_probability);
+  config.fresh_announce_probability =
+      flags.get_double("fresh-prob", config.fresh_announce_probability);
+  config.max_length4 =
+      static_cast<std::uint8_t>(flags.get_u64("max-len", config.max_length4));
+  config.max_length6 =
+      static_cast<std::uint8_t>(flags.get_u64("max-len6", config.max_length6));
+  config.deaggregation = flags.get_double("deagg", config.deaggregation);
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  Rng rng(seed);
+  const std::vector<rib::FeedRecord> records = rib::generate_feed(config, rng);
+
+  // The header records the generating command, so a checked-in fixture
+  // documents how to regenerate itself.
+  std::string text = "# treecache gen-feed --routes " +
+                     std::to_string(config.routes) + " --updates " +
+                     std::to_string(config.updates) + " --family " +
+                     std::to_string(config.family) + " --seed " +
+                     std::to_string(seed) + "\n";
+  std::uint64_t updates = 0;
+  for (const rib::FeedRecord& record : records) {
+    text += rib::format_feed_record(record) + "\n";
+    updates += record.op == rib::FeedOp::kDump ? 0u : 1u;
+  }
+  write_text(flags.get("out", "-"), text);
+  std::cerr << "feed: " << records.size() << " records ("
+            << records.size() - updates << " dump, " << updates
+            << " updates)\n";
+  return 0;
+}
+
+/// One family's block of the treecache.ingest/1 document. The tree shape
+/// is reported over the replay FIB — the rule tree the fib-real workload
+/// runs on, rebuilt from every prefix the feed touched — so the numbers
+/// describe exactly what a `--workload fib-real` run would execute.
+template <typename PrefixT>
+util::Json ingest_family_json(const rib::BasicIngest<PrefixT>& family) {
+  const rib::IngestStats& stats = family.stats;
+  util::Json doc =
+      util::Json::object()
+          .set("dump_routes", stats.dump_routes)
+          .set("announces", stats.announces)
+          .set("withdraws", stats.withdraws)
+          .set("withdraw_misses", stats.withdraw_misses)
+          .set("replaced_routes", stats.replaced_routes)
+          .set("routes", std::uint64_t{family.rib.size()})
+          .set("churn_rate", stats.dump_routes > 0
+                                 ? static_cast<double>(stats.updates()) /
+                                       static_cast<double>(stats.dump_routes)
+                                 : 0.0);
+  if (!family.empty()) {
+    const auto replay = rib::make_churn_replay(family);
+    const Tree& tree = replay.fib.tree;
+    util::Json histogram = util::Json::array();
+    for (const std::uint64_t count : rib::depth_histogram(tree)) {
+      histogram.push(count);
+    }
+    doc.set("tree", util::Json::object()
+                        .set("nodes", std::uint64_t{tree.size()})
+                        .set("height", std::uint64_t{tree.height()})
+                        .set("depth_histogram", std::move(histogram)));
+  }
+  return doc;
+}
+
+template <typename PrefixT>
+void print_ingest_family(const char* name,
+                         const rib::BasicIngest<PrefixT>& family) {
+  if (family.empty()) return;
+  const rib::IngestStats& stats = family.stats;
+  std::cout << name << ":\n"
+            << "  dump routes:     " << stats.dump_routes << "\n"
+            << "  announces:       " << stats.announces << "\n"
+            << "  withdraws:       " << stats.withdraws << " ("
+            << stats.withdraw_misses << " missed)\n"
+            << "  replaced routes: " << stats.replaced_routes << "\n"
+            << "  live routes:     " << family.rib.size() << "\n";
+  const auto replay = rib::make_churn_replay(family);
+  std::cout << "  replay tree:     " << replay.fib.tree.size()
+            << " nodes, height " << replay.fib.tree.height() << ", "
+            << replay.churn_nodes.size() << " churn events\n";
+}
+
+int cmd_ingest(const Flags& flags) {
+  const std::vector<std::string> paths =
+      rib::feed_paths_from_params(params_from(flags));
+  const rib::IngestResult result = rib::ingest_feed(paths);
+  TC_CHECK(result.records > 0, "the feed carries no records");
+
+  if (flags.has("json")) {
+    util::Json feed = util::Json::array();
+    for (const std::string& path : paths) feed.push(path);
+    util::save_json(
+        flags.get("json", "-"),
+        util::Json::object()
+            .set("schema", "treecache.ingest/1")
+            .set("feed", std::move(feed))
+            .set("records", result.records)
+            .set("families", util::Json::object()
+                                 .set("ipv4", ingest_family_json(result.v4))
+                                 .set("ipv6", ingest_family_json(result.v6))));
+  }
+  if (stdout_is_human(flags)) {
+    std::cout << "feed: " << result.records << " records from "
+              << paths.size() << " file" << (paths.size() == 1 ? "" : "s")
+              << "\n";
+    print_ingest_family("IPv4", result.v4);
+    print_ingest_family("IPv6", result.v6);
+  }
   return 0;
 }
 
@@ -538,7 +679,20 @@ int cmd_fib(const Flags& flags) {
   // differ only in geometry echo identical scenario params (and the
   // per-shard results are identical for every --threads value).
   const sim::Params params = params_from(flags, kEngineFlagKeys);
-  const fib::RuleTree rules = fib::rule_tree_from_params(params);
+  // --rib-feed swaps the synthetic RIB for the IPv4 table ingested from a
+  // real feed; everything downstream (sweep axes, engine geometry) is
+  // identical. The closed-loop router models an IPv4 line card, so the
+  // IPv6 replay table is not accepted here — use the open-loop fib-real
+  // workload (`throughput --workload fib-real --family 6`) for IPv6.
+  const fib::RuleTree rules = [&]() -> fib::RuleTree {
+    if (params.has("rib-feed")) {
+      const rib::RealFibReplay& replay = rib::shared_real_fib(params);
+      TC_CHECK(replay.family == 4,
+               "treecache fib replays IPv4 tables only (drop --family 6)");
+      return replay.v4->fib;
+    }
+    return fib::rule_tree_from_params(params);
+  }();
   const engine::EngineConfig engine = engine_config_from(flags);
   std::cerr << "rule tree: " << rules.tree.size() << " nodes, height "
             << rules.tree.height() << "\n";
@@ -620,7 +774,9 @@ int dispatch(int argc, char** argv) {
   const Flags flags(argc, argv, 2);
   if (command == "gen-tree") return cmd_gen_tree(flags);
   if (command == "gen-rib") return cmd_gen_rib(flags);
+  if (command == "gen-feed") return cmd_gen_feed(flags);
   if (command == "gen-trace") return cmd_gen_trace(flags);
+  if (command == "ingest") return cmd_ingest(flags);
   if (command == "run") return cmd_run(flags);
   if (command == "throughput") return cmd_throughput(flags);
   if (command == "sweep") return cmd_sweep(flags);
