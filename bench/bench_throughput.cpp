@@ -9,12 +9,20 @@
 // (tc) at 1x1 and 8xN — same costs bit for bit, only requests/sec moves.
 // The fib-real rows replay the checked-in RIB feed fixture (ingested
 // dump+update churn) through the same open-loop engine at 1x1 and 8xN.
+// The kernel rows measure the slice-scan kernels (core/kernels.hpp): the
+// tc-deep family runs a 13-level universe (deep enough that subtree scans
+// dominate) with forced-scalar vs dispatched kernel sets, and
+// tc-batched-soa-scalar-1x1 reruns the SoA closed loop on the scalar
+// reference — same costs bit for bit, only requests/sec moves.
 // Identical seed per mode, best of TREECACHE_BENCH_REPS repetitions; emits
 // BENCH_throughput.json when TREECACHE_BENCH_JSON_DIR is set (the CI perf
 // artifact).
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "core/kernels.hpp"
 
 #include "engine/sharded_engine.hpp"
 #include "fib/fib_workloads.hpp"
@@ -48,6 +56,11 @@ struct Mode {
   // so it reads as the layout win directly.
   std::string layout{};
   std::string baseline{};  // mode name the speedup column divides by
+  bool deep = false;       // run on the deep (13-level) universe
+  /// Kernel set forced for the whole mode, instances included ("scalar" /
+  /// "sse2" / "avx2"); empty runs the dispatched default.
+  std::string force_kernels{};
+  bool pin = false;  // pin workers + first-touch shard state (open loop)
 };
 
 struct Sample {
@@ -72,9 +85,11 @@ Sample run_mode(const Mode& mode, const Tree& tree,
     }
     return {sim::run_source(*alg, *source), 1};
   }
-  engine::ShardedEngine eng(
-      tree, mode.algo, params,
-      {.shards = mode.shards, .threads = mode.threads, .batch = 4096});
+  engine::ShardedEngine eng(tree, mode.algo, params,
+                            {.shards = mode.shards,
+                             .threads = mode.threads,
+                             .batch = 4096,
+                             .pin_threads = mode.pin});
   const engine::EngineResult result = eng.run(*source);
   return {result.total, result.threads};
 }
@@ -119,6 +134,23 @@ int main() {
     ++levels;
   }
   const Tree tree = trees::complete_kary(levels, 8);
+
+  // Deep universe for the kernel rows: eight 12-level complete binary
+  // subtrees under one root (13 levels, 32761 nodes) — walks long enough
+  // that the slice-scan kernels dominate the round, still eight equal
+  // top-level shards. Not bench-scaled: depth is the point; the request
+  // stream length is scaled instead (shared `length` param).
+  constexpr std::size_t kSubLevels = 12;
+  constexpr std::size_t kSubNodes = (std::size_t{1} << kSubLevels) - 1;
+  std::vector<NodeId> deep_parents(1 + 8 * kSubNodes, kNoNode);
+  for (std::size_t t = 0; t < 8; ++t) {
+    for (std::size_t j = 0; j < kSubNodes; ++j) {
+      const std::size_t id = 1 + t * kSubNodes + j;
+      deep_parents[id] = static_cast<NodeId>(
+          j == 0 ? 0 : 1 + t * kSubNodes + (j - 1) / 2);
+    }
+  }
+  const Tree deep_tree(deep_parents);
 
   sim::Params params;
   params.set("alpha", "16");
@@ -226,6 +258,33 @@ int main() {
        .threads = 0,
        .real_feed = true,
        .baseline = "fib-real-1x1"},
+      // Kernel rows. tc-batched-soa-scalar-1x1 reruns the SoA closed loop
+      // on the scalar reference kernels: together with tc-batched-soa-1x1
+      // (dispatched) it brackets the kernel win on the fib substrate at
+      // bit-identical cost. The tc-deep family isolates it on a deep
+      // universe: scalar vs dispatched at 1x1, then sharded 8xN with
+      // pinned, first-touched workers.
+      {.name = "tc-batched-soa-scalar-1x1",
+       .shards = 1,
+       .closed_loop = true,
+       .layout = "preorder-soa",
+       .baseline = "tc-batched-nodeid-1x1",
+       .force_kernels = "scalar"},
+      {.name = "tc-deep-scalar-1x1",
+       .shards = 1,
+       .baseline = "tc-deep-scalar-1x1",
+       .deep = true,
+       .force_kernels = "scalar"},
+      {.name = "tc-deep-1x1",
+       .shards = 1,
+       .baseline = "tc-deep-scalar-1x1",
+       .deep = true},
+      {.name = "tc-deep-8xN",
+       .shards = 8,
+       .threads = 0,
+       .baseline = "tc-deep-1x1",
+       .deep = true,
+       .pin = true},
   };
 
   // Measure everything first: the single-thread baseline row itself gets a
@@ -233,12 +292,22 @@ int main() {
   std::vector<Sample> best(modes.size());
   for (std::size_t m = 0; m < modes.size(); ++m) {
     for (std::size_t rep = 0; rep < reps; ++rep) {
+      // The guard must cover instance construction: TreeCache captures
+      // its kernel table when it is built.
+      std::optional<kernels::ForceGuard> force;
+      if (!modes[m].force_kernels.empty()) {
+        force.emplace(*kernels::parse_kind(modes[m].force_kernels));
+      }
       Sample sample =
-          modes[m].real_feed
-              ? run_real_feed_mode(modes[m], real_tree, real_params, seed)
-              : modes[m].closed_loop
-                    ? run_closed_loop_mode(modes[m], rules, fib_params, seed)
-                    : run_mode(modes[m], tree, params, seed);
+          modes[m].deep
+              ? run_mode(modes[m], deep_tree, params, seed)
+              : modes[m].real_feed
+                    ? run_real_feed_mode(modes[m], real_tree, real_params,
+                                         seed)
+                    : modes[m].closed_loop
+                          ? run_closed_loop_mode(modes[m], rules, fib_params,
+                                                 seed)
+                          : run_mode(modes[m], tree, params, seed);
       if (best[m].result.rounds == 0 ||
           sample.result.wall_seconds < best[m].result.wall_seconds) {
         best[m] = sample;
@@ -267,6 +336,10 @@ int main() {
                    ConsoleTable::fmt(best[m].result.wall_seconds, 3),
                    ConsoleTable::fmt(rps / 1e6, 2),
                    ConsoleTable::fmt(speedup, 2) + "x"});
+    const std::string row_kernels =
+        mode.force_kernels.empty()
+            ? std::string(kernels::kind_name(kernels::active_kind()))
+            : mode.force_kernels;
     util::Json row = util::Json::object()
                          .set("mode", mode.name)
                          .set("algo", mode.algo)
@@ -277,7 +350,8 @@ int main() {
                          .set("wall_seconds", best[m].result.wall_seconds)
                          .set("requests_per_second", rps)
                          .set("baseline_mode", mode.baseline)
-                         .set("speedup_vs_baseline", speedup);
+                         .set("speedup_vs_baseline", speedup)
+                         .set("kernels", row_kernels);
     if (!mode.layout.empty()) row.set("layout", mode.layout);
     json_rows.push(std::move(row));
   }
@@ -299,6 +373,10 @@ int main() {
       "pairs isolate the memory layout: nodeid is the frozen pre-SoA "
       "TreeCache, preorder-soa the flat NodeState block — identical "
       "decisions, so the speedup column is pure locality. The fib-real "
-      "rows swap the synthetic stream for replayed RIB-feed churn");
+      "rows swap the synthetic stream for replayed RIB-feed churn. The "
+      "tc-deep and *-scalar rows bracket the slice-scan kernels: forced "
+      "scalar vs the dispatched SIMD set at identical cost, on a 13-level "
+      "universe where the scans dominate (tc-deep-8xN adds pinned, "
+      "first-touched shard workers)");
   return 0;
 }

@@ -12,6 +12,13 @@
 //    negative walk), so a step touches one or two cache lines instead of a
 //    miss per parallel array.
 //
+// The cached flags are a word-packed bitmap (64 ranks per std::uint64_t),
+// not a byte array: the missing-scan kernels (core/kernels.hpp) find
+// uncached runs by bit scanning a word at a time instead of walking bytes,
+// and a whole-subtree clear is a handful of masked word stores. The raw
+// stripe accessors (cached_bits / counters / pos_entries / neg_entries)
+// exist for those kernels — they expose the exact memory the scans read.
+//
 // Counters and the positive index carry phase-reset semantics: each slot is
 // stamped with the epoch it was last written in and reads from older epochs
 // observe zero, giving the O(1) bulk reset that Theorem 6.1 needs (a real
@@ -48,23 +55,34 @@ class NodeState {
   };
   static_assert(sizeof(NegEntry) == 16);
 
+  /// Per-node counter with phase-reset stamp. Public so the scan kernels
+  /// can sum epoch-valid values straight off the stripe.
+  struct Counter {
+    std::uint64_t value = 0;
+    std::uint32_t stamp = 0;
+  };
+  static_assert(sizeof(Counter) == 16);  // 4 bytes tail padding
+
   explicit NodeState(std::size_t n);
 
-  [[nodiscard]] std::size_t size() const { return cached_.size(); }
+  [[nodiscard]] std::size_t size() const { return cnt_.size(); }
 
-  // --- cached flag ------------------------------------------------------
+  // --- cached flag (word-packed bitmap) ---------------------------------
   [[nodiscard]] bool cached(std::uint32_t r) const {
-    TC_DCHECK(r < cached_.size(), "rank out of range");
-    return cached_[r] != 0;
+    TC_DCHECK(r < size(), "rank out of range");
+    return ((cached_[r >> 6] >> (r & 63)) & 1) != 0;
   }
   void set_cached(std::uint32_t r) {
-    TC_DCHECK(r < cached_.size(), "rank out of range");
-    cached_[r] = 1;
+    TC_DCHECK(r < size(), "rank out of range");
+    cached_[r >> 6] |= std::uint64_t{1} << (r & 63);
   }
   void clear_cached(std::uint32_t r) {
-    TC_DCHECK(r < cached_.size(), "rank out of range");
-    cached_[r] = 0;
+    TC_DCHECK(r < size(), "rank out of range");
+    cached_[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
   }
+  /// Clears the cached bits of the whole rank slice [begin, end): three
+  /// masked word stores plus a word fill, not a per-rank loop.
+  void clear_cached_range(std::uint32_t begin, std::uint32_t end);
 
   // --- per-node counter (phase-reset semantics) -------------------------
   [[nodiscard]] std::uint64_t counter(std::uint32_t r) const {
@@ -120,6 +138,15 @@ class NodeState {
     return neg_[r];
   }
 
+  // --- raw stripes for the scan kernels (core/kernels.hpp) --------------
+  [[nodiscard]] const std::uint64_t* cached_bits() const {
+    return cached_.data();
+  }
+  [[nodiscard]] const Counter* counters() const { return cnt_.data(); }
+  [[nodiscard]] const PosEntry* pos_entries() const { return pos_.data(); }
+  [[nodiscard]] const NegEntry* neg_entries() const { return neg_.data(); }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
   /// New phase: counters and the positive index back to zero in O(1).
   void new_phase();
 
@@ -134,12 +161,7 @@ class NodeState {
   [[nodiscard]] std::uint32_t debug_epoch() const { return epoch_; }
 
  private:
-  struct Counter {
-    std::uint64_t value = 0;
-    std::uint32_t stamp = 0;
-  };
-
-  std::vector<std::uint8_t> cached_;
+  std::vector<std::uint64_t> cached_;  // bitmap, (n + 63) / 64 words
   std::vector<Counter> cnt_;
   std::vector<PosEntry> pos_;
   std::vector<NegEntry> neg_;

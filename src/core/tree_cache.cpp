@@ -8,13 +8,27 @@
 namespace treecache {
 
 TreeCache::TreeCache(const Tree& tree, TreeCacheConfig config)
-    : tree_(&tree), config_(config), cache_(tree), state_(tree.size()) {
+    : tree_(&tree),
+      config_(config),
+      sizes_(tree.preorder_sizes().data()),
+      kernels_(&kernels::active()),
+      cache_(tree),
+      state_(tree.size()) {
   TC_CHECK(config_.alpha >= 1, "alpha must be a positive integer");
   TC_CHECK(config_.capacity >= 1, "capacity must be at least 1");
   phases_.push_back(PhaseStats{.first_round = 1});
+  // Per-instance scratch arena: sized once here so steady-state rounds do
+  // no allocation. A shard constructed on its pinned worker thread first-
+  // touches these pages there, placing the arena with the shard.
+  path_.reserve(tree.height());
+  const std::size_t changeset_cap =
+      std::min<std::size_t>(tree.size(), 2 * config_.capacity + 2);
+  rank_changeset_.reserve(changeset_cap);
+  changeset_.reserve(changeset_cap);
 }
 
 void TreeCache::reset() {
+  kernels_ = &kernels::active();
   cache_.clear();
   state_.reset();
   root_hints_.clear();
@@ -84,8 +98,7 @@ StepOutcome TreeCache::handle_positive(std::uint32_t rv) {
   for (auto it = path_.rbegin(); it != path_.rend(); ++it) {
     const std::uint32_t r = *it;
     const auto psize =
-        static_cast<std::uint64_t>(tree_->preorder_subtree_size(r)) -
-        state_.cached_below(r);
+        static_cast<std::uint64_t>(sizes_[r]) - state_.cached_below(r);
     ++work_;
     if (static_cast<std::uint64_t>(state_.pcnt(r)) >= psize * config_.alpha) {
       TC_DCHECK(static_cast<std::uint64_t>(state_.pcnt(r)) ==
@@ -177,42 +190,33 @@ std::uint32_t TreeCache::propagate_negative_increment(std::uint32_t rv) {
 
 std::uint64_t TreeCache::collect_missing(std::uint32_t ru) {
   rank_changeset_.clear();
-  std::uint64_t total = 0;
   // T(u) is the slice [ru, ru + |T(u)|); a cached node's subtree is fully
-  // cached (descendant-closure), so it is skipped as one contiguous jump.
-  const std::uint32_t end = ru + tree_->preorder_subtree_size(ru);
-  for (std::uint32_t r = ru; r < end;) {
-    ++work_;
-    if (state_.cached(r)) {
-      r += tree_->preorder_subtree_size(r);
-      continue;
-    }
-    rank_changeset_.push_back(r);
-    total += state_.counter(r);
-    ++r;
-  }
-  return total;
+  // cached (descendant-closure), so the kernel skips it as one jump and
+  // emits the uncached runs with bit scans over the packed bitmap.
+  const kernels::MissingScan scan{.cached_bits = state_.cached_bits(),
+                                  .sizes = sizes_,
+                                  .cnt = state_.counters(),
+                                  .epoch = state_.epoch()};
+  const kernels::ScanResult res =
+      kernels_->scan_missing(scan, ru, ru + sizes_[ru], rank_changeset_);
+  work_ += res.visits;
+  return res.total;
 }
 
 std::uint64_t TreeCache::collect_h_set(std::uint32_t ru) {
   rank_changeset_.clear();
-  std::uint64_t total = 0;
   // H(u) is u plus, per child w with I(w) ≥ 0, the set H(w): a node belongs
-  // iff no strict ancestor inside T(u) has I < 0, so a subtree whose root
-  // has I < 0 is skipped as one contiguous jump.
-  const std::uint32_t end = ru + tree_->preorder_subtree_size(ru);
-  for (std::uint32_t r = ru; r < end;) {
-    ++work_;
-    TC_DCHECK(state_.cached(r), "cache must be descendant-closed");
-    if (r != ru && state_.neg(r).value < 0) {
-      r += tree_->preorder_subtree_size(r);
-      continue;
-    }
-    rank_changeset_.push_back(r);
-    total += state_.counter(r);
-    ++r;
-  }
-  return total;
+  // iff no strict ancestor inside T(u) has I < 0, so the kernel skips a
+  // subtree whose root has I < 0 as one contiguous jump.
+  TC_DCHECK(state_.cached(ru), "H-set root must be cached");
+  const kernels::HScan scan{.neg = state_.neg_entries(),
+                            .sizes = sizes_,
+                            .cnt = state_.counters(),
+                            .epoch = state_.epoch()};
+  const kernels::ScanResult res =
+      kernels_->scan_h_candidates(scan, ru, ru + sizes_[ru], rank_changeset_);
+  work_ += res.visits;
+  return res.total;
 }
 
 void TreeCache::apply_fetch(std::uint32_t ru, std::uint64_t cnt_x) {
@@ -231,9 +235,8 @@ void TreeCache::apply_fetch(std::uint32_t ru, std::uint64_t cnt_x) {
     state_.reset_counter(r);
     std::int64_t i_value = -static_cast<std::int64_t>(config_.alpha);
     std::uint64_t s_value = 1;
-    const std::uint32_t end = r + tree_->preorder_subtree_size(r);
-    for (std::uint32_t c = r + 1; c < end;
-         c += tree_->preorder_subtree_size(c)) {
+    const std::uint32_t end = r + sizes_[r];
+    for (std::uint32_t c = r + 1; c < end; c += sizes_[c]) {
       ++work_;
       const NodeState::NegEntry& nc = state_.neg(c);
       if (nc.value >= 0) {
@@ -276,7 +279,7 @@ void TreeCache::apply_evict(std::uint32_t ru) {
   // [x, x + |T(x)|) starting at x itself — a binary search away.
   for (std::size_t i = 0; i < rank_changeset_.size(); ++i) {
     const std::uint32_t r = rank_changeset_[i];
-    const std::uint32_t size = tree_->preorder_subtree_size(r);
+    const std::uint32_t size = sizes_[r];
     const auto first =
         rank_changeset_.begin() + static_cast<std::ptrdiff_t>(i);
     const auto last = std::lower_bound(first, rank_changeset_.end(), r + size);
@@ -287,9 +290,8 @@ void TreeCache::apply_evict(std::uint32_t ru) {
   }
   // Cached children left under evicted nodes become maximal roots.
   for (const std::uint32_t r : rank_changeset_) {
-    const std::uint32_t end = r + tree_->preorder_subtree_size(r);
-    for (std::uint32_t c = r + 1; c < end;
-         c += tree_->preorder_subtree_size(c)) {
+    const std::uint32_t end = r + sizes_[r];
+    for (std::uint32_t c = r + 1; c < end; c += sizes_[c]) {
       ++work_;
       if (state_.cached(c)) root_hints_.push_back(c);
     }
@@ -318,22 +320,19 @@ void TreeCache::phase_restart(std::uint32_t aborted_fetch_size) {
     if (!state_.cached(r)) continue;  // stale hint (already evicted)
     const std::uint32_t p = tree_->preorder_parent(r);
     if (p != kNoNode && state_.cached(p)) continue;  // no longer maximal
-    const std::uint32_t end = r + tree_->preorder_subtree_size(r);
-    for (std::uint32_t x = r; x < end; ++x) {
-      TC_DCHECK(state_.cached(x), "maximal root subtree must be cached");
-      rank_changeset_.push_back(x);
-      ++work_;
-    }
+    const std::uint32_t end = r + sizes_[r];
+    kernels_->emit_iota(rank_changeset_, r, end);
+    work_ += end - r;
+    // Clearing the slice here (instead of in a second pass) is safe: the
+    // hints are ascending, so a hint nested inside this slice is visited
+    // later and skipped as stale by the cached(r) test above.
+    state_.clear_cached_range(r, end);
   }
   root_hints_.clear();
 
   const auto evicted = static_cast<std::uint32_t>(rank_changeset_.size());
   TC_DCHECK(evicted == cache_.size(), "restart must evict the whole cache");
-  const auto from = tree_->from_preorder();
-  for (const std::uint32_t r : rank_changeset_) {
-    state_.clear_cached(r);
-    cache_.erase(from[r]);
-  }
+  cache_.clear();
   cost_.reorg += config_.alpha * evicted;
 
   PhaseStats& phase = phases_.back();

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/kernels.hpp"
 #include "core/node_state.hpp"
 #include "core/online_algorithm.hpp"
 #include "tree/tree.hpp"
@@ -150,6 +151,14 @@ class TreeCache final : public OnlineAlgorithm {
 
   const Tree* tree_;
   TreeCacheConfig config_;
+  /// Raw subtree-size stripe (tree_->preorder_sizes().data()), captured
+  /// once so the scan loops index it directly instead of bouncing through
+  /// an accessor call per rank.
+  const std::uint32_t* sizes_;
+  /// The kernel set every slice scan of this instance runs on, captured at
+  /// construction (and re-captured on reset()) from kernels::active() —
+  /// all sets are bit-identical by contract, so this only picks the speed.
+  const kernels::Table* kernels_;
 
   /// NodeId-keyed mirror of the cached set, maintained for the public
   /// cache() view (AccountingSink reads its size every round); the hot path

@@ -14,8 +14,31 @@
 #include "core/tree_cache.hpp"
 #include "util/stopwatch.hpp"
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace treecache::engine {
 namespace {
+
+/// Pins the calling thread to the CPU owned by worker `w` (w modulo the
+/// hardware concurrency — the same mapping every pool uses, so a worker
+/// lands on the same core at construction and on every run). Returns the
+/// CPU, or -1 when pinning is unavailable or denied (reported, not fatal).
+int pin_to_cpu(std::size_t w) {
+#if defined(__linux__)
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  const int cpu = static_cast<int>(w % hardware);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) == 0) return cpu;
+#else
+  (void)w;
+#endif
+  return -1;
+}
 
 /// Bound on chunks buffered per worker: enough to keep workers busy while
 /// the demux refills, small enough that a slow shard backpressures the
@@ -151,14 +174,51 @@ ShardedEngine::ShardedEngine(const Tree& tree, const std::string& algorithm,
   // Single-shard plans delegate to run_source, whose batch is fixed:
   // normalize so config() never claims a geometry that was not used.
   if (plan_.num_shards() == 1) config_.batch = sim::kDriverBatchSize;
-  algs_.reserve(plan_.num_shards());
-  tc_.reserve(plan_.num_shards());
-  for (std::size_t s = 0; s < plan_.num_shards(); ++s) {
-    algs_.push_back(
-        sim::make_algorithm(algorithm, plan_.shard_tree(s), params));
-    // Downcast once here; step_shard then calls the final TreeCache
-    // directly, off the virtual path, for every chunk of the run.
-    tc_.push_back(dynamic_cast<TreeCache*>(algs_.back().get()));
+  // Pinning only matters where worker threads exist; normalize it away on
+  // single-worker geometries so config() reports what was done.
+  if (effective_threads() <= 1) config_.pin_threads = false;
+
+  const std::size_t num_shards = plan_.num_shards();
+  algs_.resize(num_shards);
+  tc_.resize(num_shards);
+  if (config_.pin_threads) {
+    // Build shard s on pinned worker s % workers — the owner under the
+    // run-time mapping of every pool. The instance's NodeState block and
+    // scratch arena are first-touched on that worker's core, so their
+    // pages are placed on its NUMA node. The registry is read-only after
+    // static init, so concurrent make_algorithm calls are safe; each
+    // thread writes disjoint algs_/tc_/worker_cpus_ slots and the join
+    // publishes them.
+    const std::size_t workers = effective_threads();
+    worker_cpus_.assign(workers, -1);
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        worker_cpus_[w] = pin_to_cpu(w);
+        try {
+          for (std::size_t s = w; s < num_shards; s += workers) {
+            algs_[s] =
+                sim::make_algorithm(algorithm, plan_.shard_tree(s), params);
+            tc_[s] = dynamic_cast<TreeCache*>(algs_[s].get());
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    if (error) std::rethrow_exception(error);
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      algs_[s] = sim::make_algorithm(algorithm, plan_.shard_tree(s), params);
+      // Downcast once here; step_shard then calls the final TreeCache
+      // directly, off the virtual path, for every chunk of the run.
+      tc_[s] = dynamic_cast<TreeCache*>(algs_[s].get());
+    }
   }
 }
 
@@ -199,6 +259,8 @@ EngineResult ShardedEngine::run(RequestSource& source) {
 
   EngineResult out;
   out.shards = num_shards;
+  out.pinned = config_.pin_threads;
+  out.worker_cpus = worker_cpus_;
   const Stopwatch timer;
 
   if (num_shards == 1) {
@@ -277,6 +339,7 @@ EngineResult ShardedEngine::run(RequestSource& source) {
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
+        if (config_.pin_threads) pin_to_cpu(w);  // same core as construction
         WorkerQueue& queue = queues[w];
         for (;;) {
           std::pair<std::size_t, std::vector<Request>> item;
@@ -407,6 +470,8 @@ EngineResult ShardedEngine::run_split(
 
   EngineResult out;
   out.shards = num_shards;
+  out.pinned = config_.pin_threads;
+  out.worker_cpus = worker_cpus_;
   out.per_shard.resize(num_shards);
   const Stopwatch timer;
   const std::size_t workers = num_shards == 1 ? 1 : effective_threads();
@@ -471,6 +536,7 @@ void ShardedEngine::run_split_threaded(
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
+      if (config_.pin_threads) pin_to_cpu(w);  // same core as construction
       WorkerQueue& queue = queues[w];
       // One recycled flat buffer per worker: the publish() swap protocol
       // rotates storage between worker and producer, so the steady state
@@ -607,6 +673,7 @@ void ShardedEngine::run_parts_threaded(
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
+      if (config_.pin_threads) pin_to_cpu(w);  // same core as construction
       try {
         std::vector<Request> buffer(config_.batch);
         // Shard s is pinned to worker s % workers, like the demux path, so

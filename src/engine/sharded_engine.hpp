@@ -83,6 +83,14 @@ struct EngineConfig {
   /// before publishing more. Small values backpressure workers instead of
   /// growing memory; must be >= 1 (1 = per-outcome handoff).
   std::size_t feedback = 1024;
+  /// Pin worker w to CPU w % hardware_concurrency (Linux sched_setaffinity;
+  /// a no-op elsewhere and when affinity is denied). Shard instances are
+  /// then also *constructed* on their pinned worker, so each shard's
+  /// NodeState block and scratch arena are first-touched — hence placed —
+  /// on the core (and NUMA node) that runs it. Only effective when the run
+  /// actually uses more than one worker; the constructor normalizes it to
+  /// false otherwise, so config() reports what was done.
+  bool pin_threads = false;
 };
 
 struct EngineResult {
@@ -94,6 +102,11 @@ struct EngineResult {
   std::vector<sim::RunResult> per_shard;
   std::size_t shards = 0;
   std::size_t threads = 0;  // workers actually used
+  /// True iff the run used pinned workers (EngineConfig::pin_threads after
+  /// normalization); worker_cpus[w] is the CPU worker w landed on, or -1
+  /// when the affinity call failed (reported, not fatal).
+  bool pinned = false;
+  std::vector<int> worker_cpus;
 };
 
 class ShardedEngine {
@@ -155,6 +168,10 @@ class ShardedEngine {
 
   ShardPlan plan_;
   EngineConfig config_;
+  /// CPU each worker was pinned to at construction (-1 = affinity denied);
+  /// empty when pin_threads is off. Run-time pools re-pin worker w to the
+  /// same w % hardware_concurrency slot.
+  std::vector<int> worker_cpus_;
   std::vector<std::unique_ptr<OnlineAlgorithm>> algs_;  // one per shard
   /// algs_[s] downcast once at construction: non-null iff shard s runs the
   /// concrete TreeCache (the step_shard fast path), non-owning.

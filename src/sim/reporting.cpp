@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <string>
 
+#include "core/kernels.hpp"
 #include "engine/sharded_engine.hpp"
 #include "util/check.hpp"
 
@@ -147,14 +148,20 @@ util::Json throughput_json(const Scenario& scenario,
     entry.set("result", to_json(result.per_shard[s]));
     per_shard.push(std::move(entry));
   }
+  util::Json affinity = util::Json::array();
+  for (const int cpu : result.worker_cpus) affinity.push(cpu);
   return util::Json::object()
       .set("schema", "treecache.throughput/1")
       .set("scenario", std::move(scenario_doc))
-      .set("engine", util::Json::object()
-                         .set("shards_requested", std::uint64_t{config.shards})
-                         .set("shards", std::uint64_t{result.shards})
-                         .set("threads", std::uint64_t{result.threads})
-                         .set("batch", std::uint64_t{config.batch}))
+      .set("engine",
+           util::Json::object()
+               .set("shards_requested", std::uint64_t{config.shards})
+               .set("shards", std::uint64_t{result.shards})
+               .set("threads", std::uint64_t{result.threads})
+               .set("batch", std::uint64_t{config.batch})
+               .set("pin", result.pinned)
+               .set("affinity", std::move(affinity))
+               .set("kernels", std::string(kernels::active().name)))
       .set("result", to_json(result.total))
       .set("per_shard", std::move(per_shard));
 }

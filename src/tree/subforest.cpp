@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/kernels.hpp"
+
 namespace treecache {
 
 void Subforest::insert(NodeId v) {
@@ -12,6 +14,8 @@ void Subforest::insert(NodeId v) {
   }
 #endif
   cached_[v] = 1;
+  const std::uint32_t r = tree_->preorder_index(v);
+  rank_bits_[r >> 6] |= std::uint64_t{1} << (r & 63);
   ++size_;
 }
 
@@ -23,6 +27,8 @@ void Subforest::erase(NodeId v) {
             "erase would break descendant-closure");
 #endif
   cached_[v] = 0;
+  const std::uint32_t r = tree_->preorder_index(v);
+  rank_bits_[r >> 6] &= ~(std::uint64_t{1} << (r & 63));
   --size_;
 }
 
@@ -108,20 +114,18 @@ void Subforest::missing_subtree(NodeId u, std::vector<NodeId>& out) const {
   TC_CHECK(!contains(u), "P_t(u) is defined for non-cached u only");
   out.clear();
   // T(u) is a contiguous preorder-rank slice; a cached node's subtree is
-  // entirely cached (descendant-closure), so it is skipped as one jump.
-  // This needs no DFS stack, so a reused `out` means no allocation at all.
-  const auto from = tree_->from_preorder();
+  // entirely cached (descendant-closure), so the scan kernel skips it as
+  // one jump and bit-scans the uncached runs off the rank bitmap. The
+  // kernel appends ranks (= preorder, parents first); they are translated
+  // to NodeIds in place, so a reused `out` means no allocation at all.
   const std::uint32_t ru = tree_->preorder_index(u);
-  const std::uint32_t end = ru + tree_->subtree_size(u);
-  for (std::uint32_t r = ru; r < end;) {
-    const NodeId v = from[r];
-    if (contains(v)) {
-      r += tree_->preorder_subtree_size(r);
-      continue;
-    }
-    out.push_back(v);
-    ++r;
-  }
+  const kernels::MissingScan scan{.cached_bits = rank_bits_.data(),
+                                  .sizes = tree_->preorder_sizes().data(),
+                                  .cnt = nullptr,
+                                  .epoch = 0};
+  kernels::active().scan_missing(scan, ru, ru + tree_->subtree_size(u), out);
+  const auto from = tree_->from_preorder();
+  for (NodeId& v : out) v = from[v];
 }
 
 std::vector<NodeId> Subforest::as_vector() const {

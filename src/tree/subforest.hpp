@@ -19,7 +19,9 @@ class Subforest {
  public:
   /// Empty cache over `tree`. The tree must outlive the subforest.
   explicit Subforest(const Tree& tree)
-      : tree_(&tree), cached_(tree.size(), 0) {}
+      : tree_(&tree),
+        cached_(tree.size(), 0),
+        rank_bits_((tree.size() + 63) / 64, 0) {}
 
   [[nodiscard]] const Tree& tree() const { return *tree_; }
 
@@ -33,6 +35,7 @@ class Subforest {
 
   void clear() {
     std::fill(cached_.begin(), cached_.end(), std::uint8_t{0});
+    std::fill(rank_bits_.begin(), rank_bits_.end(), std::uint64_t{0});
     size_ = 0;
   }
 
@@ -91,6 +94,10 @@ class Subforest {
  private:
   const Tree* tree_;
   std::vector<std::uint8_t> cached_;
+  /// Preorder-rank-indexed mirror of the membership flags as a word-packed
+  /// bitmap, so missing_subtree runs on the scan_missing kernel
+  /// (core/kernels.hpp) instead of a per-rank byte walk.
+  std::vector<std::uint64_t> rank_bits_;
   std::size_t size_ = 0;
 };
 

@@ -124,6 +124,13 @@ class Tree {
     return rank_size_[r];
   }
 
+  /// The whole subtree-size stripe, rank-indexed. Scan loops capture this
+  /// once (`.data()`) instead of calling preorder_subtree_size per rank;
+  /// the scan kernels (core/kernels.hpp) take it as a raw stripe.
+  [[nodiscard]] std::span<const std::uint32_t> preorder_sizes() const {
+    return rank_size_;
+  }
+
   /// True iff NodeId already equals preorder rank, i.e. both remap tables
   /// are the identity. ShardPlan's relabeled shard trees guarantee this.
   [[nodiscard]] bool is_preorder_labeled() const { return preorder_labeled_; }

@@ -341,6 +341,49 @@ TEST(ShardedEngine, ResultsInvariantAcrossThreadCounts) {
   }
 }
 
+TEST(ShardedEngine, PinnedRunMatchesUnpinnedAndReportsAffinity) {
+  const Tree tree = trees::complete_kary(4, 8);
+  const sim::Params params = engine_params();
+
+  std::vector<engine::EngineResult> results;
+  for (const bool pin : {false, true}) {
+    engine::ShardedEngine eng(
+        tree, "tc", params,
+        {.shards = 8, .threads = 4, .batch = 256, .pin_threads = pin});
+    EXPECT_EQ(eng.config().pin_threads, pin);
+    const auto source = sim::make_source("zipf", tree, params, 29);
+    results.push_back(eng.run(*source));
+    EXPECT_EQ(results.back().pinned, pin);
+    if (pin) {
+      // One entry per worker; -1 means the kernel denied the affinity
+      // request (containerized CI), any other value is the CPU pinned to.
+      ASSERT_EQ(results.back().worker_cpus.size(), results.back().threads);
+      for (const int cpu : results.back().worker_cpus) EXPECT_GE(cpu, -1);
+    } else {
+      EXPECT_TRUE(results.back().worker_cpus.empty());
+    }
+  }
+  EXPECT_EQ(results[1].total, results[0].total);
+  ASSERT_EQ(results[1].per_shard.size(), results[0].per_shard.size());
+  for (std::size_t s = 0; s < results[0].per_shard.size(); ++s) {
+    EXPECT_EQ(results[1].per_shard[s], results[0].per_shard[s])
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedEngine, PinningIsNormalizedOffForSequentialRuns) {
+  const Tree tree = trees::complete_kary(3, 5);
+  engine::ShardedEngine eng(tree, "tc", engine_params(),
+                            {.shards = 4, .threads = 1, .pin_threads = true});
+  // A single worker gains nothing from pinning and the sequential paths
+  // never call sched_setaffinity, so config() must report reality.
+  EXPECT_FALSE(eng.config().pin_threads);
+  const auto source = sim::make_source("zipf", tree, engine_params(), 31);
+  const engine::EngineResult result = eng.run(*source);
+  EXPECT_FALSE(result.pinned);
+  EXPECT_TRUE(result.worker_cpus.empty());
+}
+
 TEST(ShardedEngine, WarnsWhenSplitFallsBackToReplication) {
   // An open-loop source whose split() merely forks the stream per shard
   // (SplitKind::kReplicated) regenerates it S times; the engine says so

@@ -38,9 +38,13 @@
 //   throughput sharded-engine run (engine/sharded_engine.hpp): --tree
 //              tree.txt|fib --algo <algorithm> [--workload <w>|--trace f]
 //              [--shards S] [--threads N] [--batch B] [--feedback F]
-//              [--seed S] [--json out.json]; aggregate costs are
-//              identical for every --threads value (per-shard routing is
-//              deterministic). --algos a,b,... instead of --algo runs a
+//              [--pin on|off] [--seed S] [--json out.json]; aggregate
+//              costs are identical for every --threads value (per-shard
+//              routing is deterministic). --pin on pins shard workers to
+//              cores and first-touches shard state on its worker; the
+//              JSON echoes the effective affinity and the dispatched
+//              kernel set (TREECACHE_FORCE_KERNELS=scalar|sse2|avx2
+//              overrides). --algos a,b,... instead of --algo runs a
 //              side-by-side comparison over the same stream (speedup vs
 //              the first name — `--algos tc-legacy,tc` measures the
 //              preorder-SoA layout win)
@@ -82,6 +86,7 @@
 
 #include "analysis/opt_bound.hpp"
 #include "core/field_tracker.hpp"
+#include "core/kernels.hpp"
 #include "core/request_source.hpp"
 #include "core/tree_cache.hpp"  // `fields` instruments TC specifically
 #include "engine/sharded_engine.hpp"
@@ -624,6 +629,14 @@ int cmd_throughput(const Flags& flags) {
     std::cout << "shards:          " << result.shards << " (requested "
               << config.shards << ")\n"
               << "threads:         " << result.threads << "\n"
+              << "kernels:         " << kernels::active().name << "\n"
+              << "pinned:          " << (result.pinned ? "yes" : "no");
+    if (result.pinned) {
+      std::cout << " (cpus:";
+      for (const int cpu : result.worker_cpus) std::cout << ' ' << cpu;
+      std::cout << ')';
+    }
+    std::cout << "\n"
               << "rounds:          " << result.total.rounds << "\n"
               << "total cost:      " << result.total.cost.total() << "\n"
               << "wall seconds:    " << result.total.wall_seconds << "\n"
