@@ -1,10 +1,14 @@
 #include "rib/feed.hpp"
 
 #include <algorithm>
+#include <array>
 #include <charconv>
+#include <filesystem>
 #include <system_error>
+#include <thread>
 
 #include "fib/rib_gen.hpp"
+#include "rib/mrt.hpp"
 
 namespace treecache::rib {
 
@@ -65,6 +69,18 @@ std::uint64_t parse_decimal(const std::string& field, const char* what,
   return value;
 }
 
+/// Next hops are 32-bit; a wider decimal is a malformed feed, not a
+/// silent truncation.
+NextHop parse_next_hop(const std::string& field, std::size_t line_number,
+                       const std::string& line) {
+  const std::uint64_t value =
+      parse_decimal(field, "next-hop id", line_number, line);
+  if (value > 0xFFFFFFFFull) {
+    fail_line(line_number, "next-hop id " + field + " exceeds 32 bits", line);
+  }
+  return static_cast<NextHop>(value);
+}
+
 /// Parses the prefix field, auto-detecting the family, into `record`.
 void parse_prefix_field(const std::string& field, FeedRecord& record,
                         std::size_t line_number, const std::string& line) {
@@ -92,8 +108,7 @@ FeedRecord parse_feed_line(const std::string& line, std::size_t line_number) {
     }
     record.op = FeedOp::kDump;
     parse_prefix_field(fields[1], record, line_number, line);
-    record.next_hop = static_cast<NextHop>(
-        parse_decimal(fields[2], "next-hop id", line_number, line));
+    record.next_hop = parse_next_hop(fields[2], line_number, line);
     return record;
   }
   if (fields.size() < 2) {
@@ -107,8 +122,7 @@ FeedRecord parse_feed_line(const std::string& line, std::size_t line_number) {
     }
     record.op = FeedOp::kAnnounce;
     parse_prefix_field(fields[2], record, line_number, line);
-    record.next_hop = static_cast<NextHop>(
-        parse_decimal(fields[3], "next-hop id", line_number, line));
+    record.next_hop = parse_next_hop(fields[3], line_number, line);
     return record;
   }
   if (fields[1] == "withdraw") {
@@ -142,30 +156,121 @@ FeedReader::FeedReader(std::vector<std::string> paths)
   TC_CHECK(!paths_.empty(), "FeedReader needs at least one path");
 }
 
+FeedReader::~FeedReader() = default;
+
 bool FeedReader::open_next_file() {
   while (file_ < paths_.size()) {
     in_.close();
     in_.clear();
-    in_.open(paths_[file_]);
+    in_.open(paths_[file_], std::ios::binary);
     TC_CHECK(in_.is_open(), "cannot open feed file " + paths_[file_]);
     in_open_ = true;
     line_number_ = 0;
+    carry_.clear();
+    file_bytes_seen_ = 0;
+    last_growth_ = std::chrono::steady_clock::now();
     ++file_;
+    detect_format();
     return true;
   }
   in_open_ = false;
   return false;
 }
 
+void FeedReader::detect_format() {
+  std::array<char, kMrtHeaderBytes> head{};
+  in_.read(head.data(), static_cast<std::streamsize>(head.size()));
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  in_.clear();
+  in_.seekg(0);
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(head.data()), got);
+  format_ = looks_like_mrt(bytes) ? Format::kMrt : Format::kText;
+  mrt_ = format_ == Format::kMrt ? std::make_unique<MrtDecoder>() : nullptr;
+}
+
+bool FeedReader::following_here() const {
+  return follow_.has_value() && !follow_done_ && file_ == paths_.size();
+}
+
+bool FeedReader::wait_for_growth() {
+  const auto idle = follow_->idle;
+  while (true) {
+    if (idle.count() > 0 &&
+        std::chrono::steady_clock::now() - last_growth_ >= idle) {
+      follow_done_ = true;
+      return false;
+    }
+    std::this_thread::sleep_for(follow_->poll);
+    std::error_code ec;
+    const std::uintmax_t size =
+        std::filesystem::file_size(paths_[file_ - 1], ec);
+    if (!ec && size > file_bytes_seen_) return true;
+  }
+}
+
+void FeedReader::note_progress(std::uint64_t n) {
+  if (n == 0) return;
+  bytes_ += n;
+  file_bytes_seen_ += n;
+  last_growth_ = std::chrono::steady_clock::now();
+}
+
 std::optional<FeedRecord> FeedReader::next() {
   while (true) {
     if (!in_open_ && !open_next_file()) return std::nullopt;
+    std::optional<FeedRecord> record =
+        format_ == Format::kMrt ? next_mrt() : next_text();
+    if (record.has_value()) {
+      ++records_;
+      return record;
+    }
+    // Current file exhausted; next_* already handled follow waiting and
+    // truncation, so just advance.
+  }
+}
+
+std::optional<FeedRecord> FeedReader::next_text() {
+  while (true) {
     std::string line;
     if (!std::getline(in_, line)) {
-      in_open_ = false;
-      continue;  // next file, if any
+      // No characters at all: clean end of this file (or of the growth
+      // the follower was waiting on).
+      if (following_here() && wait_for_growth()) {
+        in_.clear();
+        continue;
+      }
+      if (carry_.empty()) {
+        in_open_ = false;
+        return std::nullopt;
+      }
+      // The writer stopped mid-line; parse the stash as the final line.
+      line = std::move(carry_);
+      carry_.clear();
+    } else {
+      note_progress(line.size() + (in_.eof() ? 0 : 1));
+      if (!carry_.empty()) {
+        line.insert(0, carry_);
+        carry_.clear();
+      }
+      if (in_.eof() && following_here()) {
+        // Partial tail line (no newline yet): stash it and wait for the
+        // rest; parse it as-is once the writer goes idle.
+        carry_ = std::move(line);
+        if (wait_for_growth()) {
+          in_.clear();
+          continue;
+        }
+        line = std::move(carry_);
+        carry_.clear();
+      }
+      // Not following: a truncated final line still parses below.
     }
     ++line_number_;
+    if (line_number_ == 1 && line.size() >= 3 &&
+        line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+      line.erase(0, 3);  // UTF-8 BOM
+    }
     // Tolerate CRLF feeds.
     if (!line.empty() && line.back() == '\r') line.pop_back();
     std::size_t first = 0;
@@ -175,11 +280,36 @@ std::optional<FeedRecord> FeedReader::next() {
     }
     if (first == line.size() || line[first] == '#') continue;
     try {
-      ++records_;
       return parse_feed_line(line, line_number_);
     } catch (const CheckFailure& e) {
       throw CheckFailure(paths_[file_ - 1] + ": " + e.what());
     }
+  }
+}
+
+std::optional<FeedRecord> FeedReader::next_mrt() {
+  while (true) {
+    const std::uint64_t before = mrt_->bytes_seen();
+    std::optional<FeedRecord> record;
+    try {
+      record = mrt_->next(in_);
+    } catch (const CheckFailure& e) {
+      note_progress(mrt_->bytes_seen() - before);
+      throw CheckFailure(paths_[file_ - 1] + ": " + e.what());
+    }
+    note_progress(mrt_->bytes_seen() - before);
+    if (record.has_value()) return record;
+    if (following_here() && wait_for_growth()) {
+      in_.clear();
+      continue;
+    }
+    if (mrt_->mid_record()) {
+      throw CheckFailure(paths_[file_ - 1] +
+                         ": truncated MRT record at offset " +
+                         std::to_string(mrt_->record_offset()));
+    }
+    in_open_ = false;
+    return std::nullopt;
   }
 }
 

@@ -12,8 +12,10 @@
 // the same style as core/trace.hpp's parse_request_line.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,13 +49,35 @@ struct FeedRecord {
 /// Serializes a record in the exact grammar parse_feed_line accepts.
 [[nodiscard]] std::string format_feed_record(const FeedRecord& record);
 
-/// Streams feed files line by line (never slurps — feeds can be
-/// internet-table sized). Multiple paths are read back to back, so a
-/// snapshot dump and an update feed can live in separate files. Errors
-/// name the file and line.
+/// Tail-follow tuning for FeedReader::follow(). The reader polls the
+/// last feed file for growth and gives up after `idle` with no new
+/// bytes (zero = follow forever, until the process is stopped).
+struct FollowOptions {
+  std::chrono::milliseconds poll{20};
+  std::chrono::milliseconds idle{1000};
+};
+
+class MrtDecoder;
+
+/// Streams feed files record by record (never slurps — feeds can be
+/// internet-table sized). Each file's format is sniffed at open: binary
+/// MRT (RFC 6396, see rib/mrt.hpp) or the text grammar above, so dumps
+/// and update feeds can mix formats freely. Multiple paths are read back
+/// to back. Errors name the file plus the line (text) or byte offset
+/// (MRT). Text hardening: a UTF-8 BOM at file start is stripped, CRLF
+/// line endings parse, and a truncated final line without a newline
+/// still parses (or errors with its position).
 class FeedReader {
  public:
   explicit FeedReader(std::vector<std::string> paths);
+  ~FeedReader();
+
+  /// Switches to tail-follow mode: when the LAST file runs out of
+  /// bytes, poll it for growth instead of returning — a growing feed
+  /// becomes an unbounded churn stream. next() returns nullopt only
+  /// after `options.idle` passes with no growth (a partial MRT record
+  /// left at that point is a truncation error).
+  void follow(const FollowOptions& options) { follow_ = options; }
 
   /// The next record, or nullopt at end of the last file.
   std::optional<FeedRecord> next();
@@ -61,15 +85,37 @@ class FeedReader {
   /// Records returned so far.
   [[nodiscard]] std::uint64_t records() const { return records_; }
 
+  /// Feed bytes consumed so far, across all files and both formats.
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
  private:
+  enum class Format : std::uint8_t { kText, kMrt };
+
   bool open_next_file();
+  void detect_format();
+  /// True when tail-follow applies here: follow mode is on, the current
+  /// file is the last one, and the idle deadline has not passed yet.
+  [[nodiscard]] bool following_here() const;
+  /// Polls the current file for growth; false once idle expires.
+  bool wait_for_growth();
+  void note_progress(std::uint64_t n);
+  std::optional<FeedRecord> next_text();
+  std::optional<FeedRecord> next_mrt();
 
   std::vector<std::string> paths_;
   std::size_t file_ = 0;  // index of the NEXT path to open
   std::ifstream in_;
   bool in_open_ = false;
+  Format format_ = Format::kText;
+  std::unique_ptr<MrtDecoder> mrt_;
   std::size_t line_number_ = 0;
+  std::string carry_;  // partial tail line stashed while following
   std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t file_bytes_seen_ = 0;
+  std::optional<FollowOptions> follow_;
+  bool follow_done_ = false;
+  std::chrono::steady_clock::time_point last_growth_{};
 };
 
 /// Synthetic feed generator — the source of the checked-in CI fixtures,

@@ -43,13 +43,29 @@ void IngestResult::apply(const FeedRecord& record) {
   }
 }
 
-IngestResult ingest_feed(const std::vector<std::string>& paths) {
+namespace {
+
+IngestResult drain_reader(FeedReader& reader) {
   IngestResult result;
-  FeedReader reader(paths);
   while (const auto record = reader.next()) {
     result.apply(*record);
   }
+  result.bytes = reader.bytes();
   return result;
+}
+
+}  // namespace
+
+IngestResult ingest_feed(const std::vector<std::string>& paths) {
+  FeedReader reader(paths);
+  return drain_reader(reader);
+}
+
+IngestResult ingest_feed(const std::vector<std::string>& paths,
+                         const FollowOptions& follow) {
+  FeedReader reader(paths);
+  reader.follow(follow);
+  return drain_reader(reader);
 }
 
 std::vector<std::uint64_t> depth_histogram(const Tree& tree) {

@@ -52,6 +52,8 @@ struct IngestResult {
   BasicIngest<fib::Prefix> v4;
   BasicIngest<fib::Prefix6> v6;
   std::uint64_t records = 0;
+  /// Feed bytes consumed (set by ingest_feed; zero for direct apply()).
+  std::uint64_t bytes = 0;
 
   /// Applies one record to the matching family.
   void apply(const FeedRecord& record);
@@ -59,6 +61,11 @@ struct IngestResult {
 
 /// Streams `paths` through a FeedReader into a fresh IngestResult.
 [[nodiscard]] IngestResult ingest_feed(const std::vector<std::string>& paths);
+
+/// Tail-follow variant: keeps polling the last path for growth, so a
+/// live feed ingests until the writer goes idle (see FeedReader::follow).
+[[nodiscard]] IngestResult ingest_feed(const std::vector<std::string>& paths,
+                                       const FollowOptions& follow);
 
 /// Per-depth node counts (index = depth, root at 0): the tree-shape
 /// histogram the ingest document reports.

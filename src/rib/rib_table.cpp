@@ -11,6 +11,10 @@ bool BasicRibTable<PrefixT>::route_add(const PrefixT& prefix,
   for (unsigned i = 0; i < prefix.length; ++i) {
     const std::uint32_t branch = fib::key_bit(prefix.bits, i) ? 1 : 0;
     if (nodes_[node].child[branch] == 0) {
+      // Child links are 32-bit; internet-scale tables stay far under
+      // this, but a hostile feed must fail loudly, not wrap.
+      TC_CHECK(nodes_.size() <= 0xFFFFFFFFull,
+               "RIB trie exceeds 2^32 nodes");
       nodes_[node].child[branch] = static_cast<std::uint32_t>(nodes_.size());
       nodes_.push_back(Node{});
     }

@@ -45,6 +45,16 @@ class BasicRibTable {
   /// Number of live routes.
   [[nodiscard]] std::size_t size() const { return routes_; }
 
+  /// Trie nodes allocated, root and tombstones included — the
+  /// denominator of the memory audit.
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Heap bytes held by the trie (capacity, not just size — what the
+  /// process actually pays). Reported by the 1M-route stress rows.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node);
+  }
+
   /// All live routes, sorted shortest-first then numerically — the
   /// deterministic input order for FIB rebuilds.
   [[nodiscard]] std::vector<PrefixT> prefixes() const;

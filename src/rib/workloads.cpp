@@ -1,5 +1,7 @@
 #include "rib/workloads.hpp"
 
+#include <chrono>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -52,10 +54,41 @@ RealFibReplay build_real_fib(const sim::Params& params) {
   return replay;
 }
 
+namespace {
+
+/// Per-path (size, mtime) stamp folded into the substrate cache key, so
+/// a feed file rewritten between runs re-ingests instead of silently
+/// replaying the stale cached tree. Unreadable paths stamp as 0/0 and
+/// fail later in build_real_fib with the real open error.
+std::string feed_stamp(const std::vector<std::string>& paths) {
+  std::string stamp;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    std::uint64_t mtime = 0;
+    const auto written = std::filesystem::last_write_time(path, ec);
+    if (!ec) {
+      mtime = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              written.time_since_epoch())
+              .count());
+    }
+    stamp += path + "|" + std::to_string(size) + "|" +
+             std::to_string(mtime) + ";";
+  }
+  return stamp;
+}
+
+}  // namespace
+
 const RealFibReplay& shared_real_fib(const sim::Params& params) {
-  // Key = everything build_real_fib reads: the path list and the family.
-  using Key = std::pair<std::string, std::uint64_t>;
-  const Key key{params.get("rib-feed", ""), params.get_u64("family", 4)};
+  // Key = everything build_real_fib reads — the path list and the
+  // family — plus each file's size+mtime stamp (a rewritten feed is a
+  // different substrate).
+  using Key = std::tuple<std::string, std::string, std::uint64_t>;
+  const Key key{params.get("rib-feed", ""),
+                feed_stamp(feed_paths_from_params(params)),
+                params.get_u64("family", 4)};
 
   static std::mutex mutex;
   static std::map<Key, std::unique_ptr<RealFibReplay>> cache;

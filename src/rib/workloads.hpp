@@ -53,9 +53,10 @@ struct RealFibReplay {
 [[nodiscard]] RealFibReplay build_real_fib(const sim::Params& params);
 
 /// build_real_fib behind a process-wide, thread-safe cache keyed by
-/// (paths, family), so a sweep instantiating many fib-real cells ingests
-/// each feed once. Entries live for the process (like
-/// fib::shared_rule_tree).
+/// (paths, per-file size+mtime, family), so a sweep instantiating many
+/// fib-real cells ingests each feed once — while a feed file regenerated
+/// mid-process is re-ingested rather than served stale. Entries live for
+/// the process (like fib::shared_rule_tree).
 [[nodiscard]] const RealFibReplay& shared_real_fib(const sim::Params& params);
 
 /// The replay-traffic block: lookups-per-event (default 16),

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "util/check.hpp"
@@ -50,6 +52,25 @@ namespace treecache::sim {
                " is not in (0, 1]");
   return std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(full_size) * scale));
+}
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), 0 where the kernel does not expose it. The
+/// memory-audit bench rows report this next to the structure-level byte
+/// counts, so a heap regression shows up even when the structures claim
+/// to be small.
+[[nodiscard]] inline std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  for (std::string line; std::getline(status, line);) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb * 1024;
+  }
+#endif
+  return 0;
 }
 
 }  // namespace treecache::sim

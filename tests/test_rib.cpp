@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -205,6 +206,69 @@ TEST(FeedReader, StreamsFilesSkipsCommentsNamesErrors) {
   EXPECT_THROW(FeedReader({"/nonexistent/feed.txt"}).next(), CheckFailure);
   std::remove(good.c_str());
   std::remove(bad.c_str());
+}
+
+TEST(FeedReader, HardenedAgainstBomCrlfAndTruncatedFinalLine) {
+  // A feed exported from tooling on another OS: UTF-8 BOM, CRLF line
+  // endings, and a final line with no trailing newline. All of it parses.
+  const std::string path = "/tmp/treecache_test_feed_hardened.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\xEF\xBB\xBF"
+        << "TABLE_DUMP|10.0.0.0/8|1\r\n"
+        << "1|announce|10.1.0.0/16|2\r\n"
+        << "2|withdraw|10.0.0.0/8";  // no trailing newline
+  }
+  FeedReader reader({path});
+  EXPECT_EQ(reader.next()->op, FeedOp::kDump);
+  EXPECT_EQ(reader.next()->op, FeedOp::kAnnounce);
+  const auto last = reader.next();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->op, FeedOp::kWithdraw);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.records(), 3u);
+  EXPECT_EQ(reader.bytes(), std::filesystem::file_size(path));
+  std::remove(path.c_str());
+}
+
+TEST(FeedReader, BomDoesNotHideTheErrorPosition) {
+  // The BOM is stripped BEFORE parsing, so a malformed first line still
+  // reports line 1 — not a mystery "bad prefix" from three stray bytes.
+  const std::string path = "/tmp/treecache_test_feed_bom_bad.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "\xEF\xBB\xBF"
+        << "TABLE_DUMP|not-a-prefix|1\n";
+  }
+  FeedReader reader({path});
+  try {
+    (void)reader.next();
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("feed line 1"), std::string::npos) << message;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeedGrammar, NextHopWiderThan32BitsIsRejected) {
+  // NextHop is u32; a 64-bit value silently truncating would alias two
+  // distinct routes. Both dump and announce paths must reject it.
+  for (const std::string line : {"TABLE_DUMP|10.0.0.0/8|4294967296",
+                                 "1|announce|10.0.0.0/8|99999999999"}) {
+    SCOPED_TRACE(line);
+    try {
+      (void)parse_feed_line(line, 3);
+      FAIL() << "expected CheckFailure";
+    } catch (const CheckFailure& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("exceeds 32 bits"), std::string::npos) << message;
+      EXPECT_NE(message.find("feed line 3"), std::string::npos) << message;
+    }
+  }
+  // The full u32 range itself stays usable.
+  EXPECT_EQ(parse_feed_line("TABLE_DUMP|10.0.0.0/8|4294967295", 1).next_hop,
+            0xFFFFFFFFu);
 }
 
 // --- RibTable vs a naive reference, both widths --------------------------

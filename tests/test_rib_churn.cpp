@@ -7,8 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/tree_cache.hpp"
@@ -204,6 +209,94 @@ TEST(Engine, FibRealIsBitIdenticalAcrossGeometries) {
   const auto source = sim::make_source("fib-real", tree, params, 77);
   const engine::EngineResult alone = single.run(*source);
   EXPECT_EQ(alone.total.rounds, results[0].total.rounds);
+}
+
+TEST(Engine, MrtFixtureIsBitIdenticalAndMatchesTheTextFixture) {
+  // rib_v4.mrt holds the SAME records as rib_v4.feed (same generator
+  // seed), in binary MRT form. The replay must be bit-identical across
+  // engine geometries AND across feed formats.
+  const sim::Params mrt_params = real_params("rib_v4.mrt", 4);
+  const RealFibReplay& replay = shared_real_fib(mrt_params);
+  const Tree& tree = replay.tree();
+
+  std::vector<engine::EngineResult> results;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    engine::ShardedEngine eng(tree, "tc", mrt_params,
+                              {.shards = 8, .threads = threads,
+                               .batch = 128});
+    const auto source = sim::make_source("fib-real", tree, mrt_params, 77);
+    results.push_back(eng.run(*source));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].total, results[0].total) << "run " << i;
+    ASSERT_EQ(results[i].per_shard.size(), results[0].per_shard.size());
+    for (std::size_t s = 0; s < results[0].per_shard.size(); ++s) {
+      EXPECT_EQ(results[i].per_shard[s], results[0].per_shard[s])
+          << "shard " << s << " run " << i;
+    }
+  }
+
+  // Cross-format: the text fixture drives an identical replay.
+  const sim::Params text_params = real_params("rib_v4.feed", 4);
+  const RealFibReplay& text_replay = shared_real_fib(text_params);
+  EXPECT_EQ(text_replay.stats.dump_routes, replay.stats.dump_routes);
+  EXPECT_EQ(text_replay.stats.updates(), replay.stats.updates());
+  engine::ShardedEngine text_engine(text_replay.tree(), "tc", text_params,
+                                    {.shards = 8, .threads = 2, .batch = 128});
+  const auto text_source =
+      sim::make_source("fib-real", text_replay.tree(), text_params, 77);
+  const engine::EngineResult from_text = text_engine.run(*text_source);
+  EXPECT_EQ(from_text.total, results[0].total);
+  ASSERT_EQ(from_text.per_shard.size(), results[0].per_shard.size());
+  for (std::size_t s = 0; s < results[0].per_shard.size(); ++s) {
+    EXPECT_EQ(from_text.per_shard[s], results[0].per_shard[s])
+        << "shard " << s;
+  }
+}
+
+TEST(SharedRealFib, FeedMutationInvalidatesTheProcessCache) {
+  // Regression: the process-wide replay cache was keyed by (path, family)
+  // only, so regenerating a feed file mid-process silently replayed the
+  // OLD table. The key now folds in file size and mtime.
+  const std::string path = "/tmp/treecache_test_shared_fib.feed";
+  const auto write_feed = [&path](NextHop hop, bool extra_update) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "TABLE_DUMP|10.0.0.0/8|" << hop << "\n"
+        << "TABLE_DUMP|10.1.0.0/16|2\n"
+        << "1|announce|10.2.0.0/16|3\n";
+    if (extra_update) out << "2|withdraw|10.1.0.0/16\n";
+  };
+  write_feed(1, false);
+  sim::Params params;
+  params.set("alpha", "4");
+  params.set("capacity", "16");
+  params.set("rib-feed", path);
+  params.set("family", "4");
+  params.set("lookups-per-event", "8");
+
+  const RealFibReplay& first = shared_real_fib(params);
+  EXPECT_EQ(first.churn_events(), 1u);
+
+  // Growing the file (size change) must produce a fresh ingest. Cache
+  // entries live for the process, so a stale hit would return the SAME
+  // object — the address check is the regression trip-wire.
+  write_feed(1, true);
+  const RealFibReplay& second = shared_real_fib(params);
+  EXPECT_NE(&first, &second);
+  EXPECT_EQ(second.churn_events(), 2u);
+
+  // A same-size rewrite must also miss, via mtime. Rewrite until the
+  // filesystem timestamp actually moves (coarse-mtime safety loop).
+  const auto stamp_before = std::filesystem::last_write_time(path);
+  do {
+    write_feed(9, true);  // same byte length, different next hop
+    if (std::filesystem::last_write_time(path) != stamp_before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  } while (true);
+  const RealFibReplay& third = shared_real_fib(params);
+  EXPECT_NE(&second, &third);
+  EXPECT_EQ(third.churn_events(), 2u);
+  std::remove(path.c_str());
 }
 
 TEST(Canonicalizer, FactorTwoBoundHoldsOnRealIpv6Churn) {

@@ -21,14 +21,21 @@
 //              [--prefixes prefixes.txt]
 //   gen-feed   --routes N --updates M [--family 4|6|46] [--seed S]
 //              [--withdraw-prob P] [--fresh-prob P] [--max-len L]
-//              [--max-len6 L] [--deagg D] [--out feed.txt]; emits a
-//              synthetic MRT-style dump+update feed (rib/feed.hpp
-//              grammar) — the source of the checked-in CI fixtures
-//   ingest     --rib-feed dump.feed[,updates.feed...] [--json out.json];
-//              streams the feed(s) into per-family radix RIBs
-//              (route_add/route_delete), rebuilds the replay FIBs, and
-//              reports routes, churn and tree depth histograms
-//              (schema treecache.ingest/1)
+//              [--max-len6 L] [--deagg D] [--format text|mrt]
+//              [--out feed.txt]; emits a synthetic dump+update feed —
+//              the source of the checked-in CI fixtures. --format mrt
+//              writes binary MRT (RFC 6396: TABLE_DUMP_V2 + BGP4MP,
+//              rib/mrt.hpp) instead of the text grammar; both decode to
+//              identical records
+//   ingest     --rib-feed dump.feed[,updates.feed...] [--json out.json]
+//              [--follow [--poll-ms P] [--idle-ms I]]; streams the
+//              feed(s) — text or binary MRT, sniffed per file — into
+//              per-family radix RIBs (route_add/route_delete), rebuilds
+//              the replay FIBs, and reports routes, churn, bytes,
+//              routes/sec and tree depth histograms (schema
+//              treecache.ingest/1). --follow tail-polls the last file
+//              for growth and stops after --idle-ms with no new bytes
+//              (0 = follow until killed)
 //   gen-trace  --tree tree.txt --kind <workload> --length N [--skew Z]
 //              [--neg F] [--alpha A] [--update-prob P] [--seed S]
 //              [--out trace.txt]
@@ -78,6 +85,7 @@
 // sim/reporting.hpp); "-" means stdout.
 #include <array>
 #include <charconv>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -96,6 +104,7 @@
 #include "rib/churn_source.hpp"
 #include "rib/feed.hpp"
 #include "rib/ingest.hpp"
+#include "rib/mrt.hpp"
 #include "rib/workloads.hpp"
 #include "sim/fib_engine.hpp"
 #include "sim/registry.hpp"
@@ -296,25 +305,43 @@ int cmd_gen_feed(const Flags& flags) {
       static_cast<std::uint8_t>(flags.get_u64("max-len6", config.max_length6));
   config.deaggregation = flags.get_double("deagg", config.deaggregation);
   const std::uint64_t seed = flags.get_u64("seed", 1);
+  const std::string format = flags.get("format", "text");
+  TC_CHECK(format == "text" || format == "mrt",
+           "--format must be text or mrt");
   Rng rng(seed);
   const std::vector<rib::FeedRecord> records = rib::generate_feed(config, rng);
 
-  // The header records the generating command, so a checked-in fixture
-  // documents how to regenerate itself.
-  std::string text = "# treecache gen-feed --routes " +
-                     std::to_string(config.routes) + " --updates " +
-                     std::to_string(config.updates) + " --family " +
-                     std::to_string(config.family) + " --seed " +
-                     std::to_string(seed) + "\n";
+  // Streamed straight to the sink — at 1M routes the text form is
+  // tens of MB and never needs to live in one string.
+  const std::string out_path = flags.get("out", "-");
+  std::ofstream file;
+  if (out_path != "-") {
+    file.open(out_path, std::ios::binary);
+    TC_CHECK(static_cast<bool>(file), "cannot open " + out_path);
+  }
+  std::ostream& os = out_path == "-" ? std::cout : file;
   std::uint64_t updates = 0;
   for (const rib::FeedRecord& record : records) {
-    text += rib::format_feed_record(record) + "\n";
     updates += record.op == rib::FeedOp::kDump ? 0u : 1u;
   }
-  write_text(flags.get("out", "-"), text);
+  if (format == "mrt") {
+    rib::MrtWriter writer(os);
+    for (const rib::FeedRecord& record : records) writer.write(record);
+  } else {
+    // The header records the generating command, so a checked-in
+    // fixture documents how to regenerate itself.
+    os << "# treecache gen-feed --routes " << config.routes << " --updates "
+       << config.updates << " --family " << config.family << " --seed "
+       << seed << "\n";
+    for (const rib::FeedRecord& record : records) {
+      os << rib::format_feed_record(record) << "\n";
+    }
+  }
+  os.flush();
+  TC_CHECK(os.good(), "writing the feed to " + out_path + " failed");
   std::cerr << "feed: " << records.size() << " records ("
             << records.size() - updates << " dump, " << updates
-            << " updates)\n";
+            << " updates, " << format << ")\n";
   return 0;
 }
 
@@ -371,9 +398,23 @@ void print_ingest_family(const char* name,
 }
 
 int cmd_ingest(const Flags& flags) {
+  // --follow/--poll-ms/--idle-ms tune the reader, not the scenario:
+  // drop them so the params match a plain batch ingest.
+  static constexpr const char* kIngestFlagKeys[] = {"follow", "poll-ms",
+                                                    "idle-ms"};
   const std::vector<std::string> paths =
-      rib::feed_paths_from_params(params_from(flags));
-  const rib::IngestResult result = rib::ingest_feed(paths);
+      rib::feed_paths_from_params(params_from(flags, kIngestFlagKeys));
+  const auto start = std::chrono::steady_clock::now();
+  const rib::IngestResult result = [&] {
+    if (!flags.has("follow")) return rib::ingest_feed(paths);
+    const rib::FollowOptions follow{
+        .poll = std::chrono::milliseconds(flags.get_u64("poll-ms", 20)),
+        .idle = std::chrono::milliseconds(flags.get_u64("idle-ms", 1000))};
+    return rib::ingest_feed(paths, follow);
+  }();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   TC_CHECK(result.records > 0, "the feed carries no records");
 
   if (flags.has("json")) {
@@ -385,14 +426,20 @@ int cmd_ingest(const Flags& flags) {
             .set("schema", "treecache.ingest/1")
             .set("feed", std::move(feed))
             .set("records", result.records)
+            .set("bytes", result.bytes)
+            .set("elapsed_seconds", elapsed)
+            .set("routes_per_second",
+                 elapsed > 0.0 ? static_cast<double>(result.records) / elapsed
+                               : 0.0)
             .set("families", util::Json::object()
                                  .set("ipv4", ingest_family_json(result.v4))
                                  .set("ipv6", ingest_family_json(result.v6))));
   }
   if (stdout_is_human(flags)) {
-    std::cout << "feed: " << result.records << " records from "
-              << paths.size() << " file" << (paths.size() == 1 ? "" : "s")
-              << "\n";
+    std::cout << "feed: " << result.records << " records ("
+              << result.bytes << " bytes) from " << paths.size() << " file"
+              << (paths.size() == 1 ? "" : "s") << " in " << elapsed
+              << " s\n";
     print_ingest_family("IPv4", result.v4);
     print_ingest_family("IPv6", result.v6);
   }
